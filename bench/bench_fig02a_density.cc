@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Figure 2-a: function density on CPU-DPU heterogeneous computers.
+ *
+ * Creates concurrent instances of the Python image-processing function
+ * until admission fails, for three machines: CPU only, CPU + 1 DPU,
+ * CPU + 2 DPUs. The CPU instances boot the baseline way (density is
+ * bounded by full private footprints); DPU instances are cfork'd from
+ * the per-DPU template, so they share the runtime region — which is
+ * where the extra density comes from (§6.2).
+ */
+
+#include "bench/common.hh"
+
+namespace {
+
+using namespace molecule;
+using core::Molecule;
+using core::MoleculeOptions;
+using hw::PuType;
+
+/**
+ * Fill one machine with instances. Returns instances per PU.
+ */
+std::vector<int>
+fillMachine(int dpuCount)
+{
+    sim::Simulation sim;
+    auto computer = hw::buildCpuDpuServer(sim, dpuCount,
+                                          hw::DpuGeneration::Bf1);
+    // The host OS and daemons reserve memory on every PU.
+    computer->pu(0).tryAllocate(6ULL << 30);
+    for (int pu = 1; pu <= dpuCount; ++pu)
+        computer->pu(pu).tryAllocate(512ULL << 20);
+
+    MoleculeOptions options;
+    options.startup.warmCapacity = 1u << 20; // never evict
+    Molecule runtime(*computer, options);
+    runtime.registerCpuFunction("image-resize",
+                                {PuType::HostCpu, PuType::Dpu});
+    runtime.start();
+
+    std::vector<int> perPu(std::size_t(dpuCount) + 1, 0);
+    const core::FunctionDef &def =
+        runtime.registry().find("image-resize");
+
+    // Baseline boots on the CPU (full footprint)...
+    auto fill = [](Molecule *m, const core::FunctionDef *fn, int pu,
+                   bool cfork, int *count) -> sim::Task<> {
+        m->startup().options().useCfork = cfork;
+        while (true) {
+            auto acq = co_await m->startup().acquire(*fn, pu, 0);
+            if (!acq.instance)
+                break; // admission failure: the PU is full
+            ++*count;
+        }
+    };
+    sim.spawn(fill(&runtime, &def, 0, false, &perPu[0]));
+    sim.run();
+    // ...Molecule cforks on the DPUs (shared runtime region).
+    for (int pu = 1; pu <= dpuCount; ++pu) {
+        sim.spawn(fill(&runtime, &def, pu, true,
+                       &perPu[std::size_t(pu)]));
+        sim.run();
+    }
+    return perPu;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace molecule::bench;
+    using molecule::sim::Table;
+
+    banner("Figure 2-a: DPU for higher density",
+           "paper: 1000 / 1256 / 1512 concurrent instances with "
+           "0 / 1 / 2 BlueField DPUs");
+
+    Table t("Figure 2-a: concurrent image-processing instances");
+    t.header({"machine", "total", "per PU"});
+    for (int dpus : {0, 1, 2}) {
+        auto perPu = fillMachine(dpus);
+        int total = 0;
+        std::string breakdown;
+        for (std::size_t i = 0; i < perPu.size(); ++i) {
+            total += perPu[i];
+            if (i)
+                breakdown += " + ";
+            breakdown += std::to_string(perPu[i]);
+        }
+        const std::string label =
+            dpus == 0 ? "CPU" : "+" + std::to_string(dpus) + " DPU";
+        t.row({label, std::to_string(total), breakdown});
+    }
+    t.print();
+    return 0;
+}

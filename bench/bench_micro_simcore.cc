@@ -1,0 +1,108 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulation kernel itself:
+ * event-queue throughput, coroutine task switching, mailbox traffic
+ * and a full nIPC write. These guard the wall-clock cost of the DES
+ * substrate (every figure bench runs millions of these operations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "hw/computer.hh"
+#include "os/kernel.hh"
+#include "sim/sync.hh"
+
+namespace {
+
+using namespace molecule;
+using namespace molecule::sim::literals;
+
+void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        int sink = 0;
+        for (int i = 0; i < 1000; ++i)
+            q.schedule(sim::SimTime::microseconds(i), [&] { ++sink; });
+        while (!q.empty())
+            q.popNext().second();
+        benchmark::DoNotOptimize(sink);
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+sim::Task<>
+pingPong(sim::Simulation &sim, int hops)
+{
+    for (int i = 0; i < hops; ++i)
+        co_await sim.delay(1_us);
+}
+
+void
+BM_CoroutineDelayChain(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulation sim;
+        sim.spawn(pingPong(sim, 1000));
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_CoroutineDelayChain);
+
+sim::Task<>
+producer(sim::Mailbox<int> &box, int n)
+{
+    for (int i = 0; i < n; ++i)
+        co_await box.put(i);
+}
+
+sim::Task<>
+consumer(sim::Mailbox<int> &box, int n)
+{
+    for (int i = 0; i < n; ++i)
+        (void)co_await box.get();
+}
+
+void
+BM_MailboxThroughput(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulation sim;
+        sim::Mailbox<int> box(sim, 16);
+        sim.spawn(consumer(box, 1000));
+        sim.spawn(producer(box, 1000));
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_MailboxThroughput);
+
+void
+BM_LocalFifoRoundTrip(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::Simulation sim;
+        auto computer = hw::buildDesktop(sim);
+        os::LocalOs os(computer->pu(0));
+        os.createFifo("bench");
+        auto loop = [](os::LocalOs *o, int n) -> sim::Task<> {
+            auto *f = o->findFifo("bench");
+            for (int i = 0; i < n; ++i) {
+                os::FifoMessage msg{64, "m"};
+                co_await f->write(msg);
+                (void)co_await f->read();
+            }
+        };
+        sim.spawn(loop(&os, 100));
+        sim.run();
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_LocalFifoRoundTrip);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Table 4: FPGA resource utilization of the vectorized wrapper with 12
+ * function instances (4x madd, 4x mmult, 4x mscale) on AWS F1.
+ *
+ * The composition is done by runf's createVector; the table reports
+ * the composed image's resource usage against the F1 totals, plus the
+ * caching capacity corollary (§6.4: 96 cached instances on 8 FPGAs).
+ */
+
+#include "bench/common.hh"
+
+namespace {
+
+using namespace molecule;
+using sandbox::CreateRequest;
+
+} // namespace
+
+int
+main()
+{
+    using namespace molecule::bench;
+    using molecule::sim::Table;
+
+    banner("Table 4: FPGA resource utilization",
+           "paper: 12-function wrapper uses 119,517 LUTs (10.1%), "
+           "196,996 REGs (8.3%), 486 BRAMs (22.5%), 787 DSPs (11.5%)");
+
+    sim::Simulation sim;
+    auto computer = hw::buildF1Server(sim, 1);
+    os::LocalOs hostOs{computer->pu(0)};
+    sandbox::RunfRuntime runf{hostOs, computer->fpga(0)};
+    workloads::Catalog catalog;
+
+    // 4 instances each of madd, mmult(vmult) and mscale (§6.4).
+    std::vector<sandbox::FunctionImage> images;
+    std::vector<CreateRequest> reqs;
+    images.reserve(12);
+    int counter = 0;
+    for (const char *kind : {"fpga-madd", "fpga-vmult", "fpga-mscale"}) {
+        for (int i = 0; i < 4; ++i) {
+            images.push_back(catalog.fpga(kind).image);
+            images.back().funcId += "-" + std::to_string(i);
+            reqs.push_back(CreateRequest{
+                "sb" + std::to_string(counter++), &images.back()});
+        }
+    }
+    auto doIt = [](sandbox::RunfRuntime *r,
+                   const std::vector<CreateRequest> *rs) -> sim::Task<> {
+        int created = co_await r->createVector(*rs);
+        MOLECULE_ASSERT(created == 12, "composition failed");
+    };
+    sim.spawn(doIt(&runf, &reqs));
+    sim.run();
+
+    const auto used = computer->fpga(0).image().totalResources();
+    const auto total = hw::FpgaResources::f1Totals();
+    auto pct = [](long u, long t) {
+        return "(" + Table::num(100.0 * double(u) / double(t), 1) + "%)";
+    };
+
+    Table t("Table 4: resource utilization (wrapper, 12 functions)");
+    t.header({"", "# LUTs", "# REGs", "# BRAMs", "# DSPs"});
+    t.row({"AWS F1 Total", std::to_string(total.luts),
+           std::to_string(total.regs), std::to_string(total.brams),
+           std::to_string(total.dsps)});
+    t.row({"Wrapper (12 func.)",
+           std::to_string(used.luts) + " " + pct(used.luts, total.luts),
+           std::to_string(used.regs) + " " + pct(used.regs, total.regs),
+           std::to_string(used.brams) + " " +
+               pct(used.brams, total.brams),
+           std::to_string(used.dsps) + " " +
+               pct(used.dsps, total.dsps)});
+    t.print();
+
+    std::printf("Corollary (§6.4): %d cached instances per card -> %d "
+                "across the 8 F1 FPGAs.\n",
+                12, 12 * 8);
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table 5 / §6.8: generality — supporting a new PU takes three
+ * components (vectorized sandbox runtime, XPU-Shim hookup, programming
+ * model). This binary demonstrates the GPU path end-to-end through
+ * runG and prints the component matrix.
+ */
+
+#include "bench/common.hh"
+
+namespace {
+
+using namespace molecule;
+using sandbox::CreateRequest;
+using sandbox::FunctionImage;
+
+} // namespace
+
+int
+main()
+{
+    using namespace molecule::bench;
+    using molecule::sim::Table;
+
+    banner("Table 5 / §6.8: supporting different PUs",
+           "GPU functions run through runG + the host's virtual shim; "
+           "the components below are the entire per-PU effort");
+
+    // Demonstrate the GPU path: load a CUDA function, start it and
+    // launch kernels alongside CPU/FPGA functions.
+    sim::Simulation sim;
+    auto computer = hw::buildFullHetero(sim);
+    os::LocalOs hostOs{computer->pu(0)};
+    sandbox::RungRuntime rung{hostOs, computer->gpuDev(0)};
+    FunctionImage img;
+    img.funcId = "cuda-vecadd";
+    img.language = sandbox::Language::CudaCpp;
+
+    sim::SimTime coldStart, warmLaunch;
+    auto demo = [](sandbox::RungRuntime *r, const FunctionImage *fi,
+                   sim::Simulation *s, sim::SimTime *cold,
+                   sim::SimTime *warm) -> sim::Task<> {
+        const auto t0 = s->now();
+        CreateRequest req{"g0", fi};
+        bool ok = co_await r->create(req);
+        MOLECULE_ASSERT(ok, "GPU create failed");
+        ok = co_await r->start("g0");
+        MOLECULE_ASSERT(ok, "GPU start failed");
+        *cold = s->now() - t0;
+        const auto t1 = s->now();
+        co_await r->invoke("g0", sim::SimTime::fromMilliseconds(2.0),
+                           1 << 20, 1 << 20);
+        *warm = s->now() - t1;
+    };
+    sim.spawn(demo(&rung, &img, &sim, &coldStart, &warmLaunch));
+    sim.run();
+
+    Table t("Table 5: required components per PU");
+    t.header({"PU", "VSandbox", "XPU-Shim", "Programming model"});
+    t.row({"DPU", "modified runc (cfork)", "RDMA to CPU",
+           "multi-language (Python/Node)"});
+    t.row({"FPGA", "runf (on OpenCL)", "DMA via host virtual shim",
+           "OpenCL kernels"});
+    t.row({"GPU", "runG (on CUDA)", "DMA via host virtual shim",
+           "CUDA C++ kernels"});
+    t.print();
+
+    Table d("GPU demonstration (runG end-to-end)");
+    d.header({"step", "latency"});
+    d.row({"cold create+start (context+module)", ms(coldStart)});
+    d.row({"kernel invocation (2 ms kernel + DMA)", ms(warmLaunch)});
+    d.print();
+    return 0;
+}

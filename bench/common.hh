@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Shared helpers for the per-figure bench binaries.
+ *
+ * Every binary regenerates the rows/series of one paper table or
+ * figure by running the full stack in simulation and printing a
+ * Table. Absolute numbers come from the calibrated cost models; the
+ * *shapes* (who wins, by what factor, where crossovers sit) emerge
+ * from the implemented protocols.
+ */
+
+#ifndef MOLECULE_BENCH_COMMON_HH
+#define MOLECULE_BENCH_COMMON_HH
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/molecule.hh"
+#include "hw/computer.hh"
+#include "sim/stats.hh"
+#include "sim/table.hh"
+
+namespace molecule::bench {
+
+/** Print the standard header of a bench binary. */
+inline void
+banner(const std::string &what, const std::string &paperRef)
+{
+    std::printf("Molecule reproduction - %s\n", what.c_str());
+    std::printf("Paper reference: %s\n\n", paperRef.c_str());
+}
+
+/** Format a SimTime in the unit used by the figure. */
+inline std::string
+us(sim::SimTime t, int decimals = 1)
+{
+    return sim::Table::num(t.toMicroseconds(), decimals);
+}
+
+inline std::string
+ms(sim::SimTime t, int decimals = 2)
+{
+    return sim::Table::num(t.toMilliseconds(), decimals);
+}
+
+inline std::string
+secs(sim::SimTime t, int decimals = 2)
+{
+    return sim::Table::num(t.toSeconds(), decimals);
+}
+
+} // namespace molecule::bench
+
+#endif // MOLECULE_BENCH_COMMON_HH

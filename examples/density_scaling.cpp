@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Vertical scaling with DPUs (the Fig 2-a effect): keep admitting
+ * image-processing instances and watch the machine's capacity grow
+ * as DPUs are added — cfork's shared templates are what make DPU
+ * instances cheap.
+ */
+
+#include <cstdio>
+
+#include "core/molecule.hh"
+#include "hw/computer.hh"
+
+namespace {
+
+using namespace molecule;
+
+int
+fill(core::Molecule &runtime, const core::FunctionDef &def, int pu,
+     bool cfork)
+{
+    int count = 0;
+    auto loop = [](core::Molecule *m, const core::FunctionDef *fn,
+                   int target, bool useCfork, int *out) -> sim::Task<> {
+        m->startup().options().useCfork = useCfork;
+        while (true) {
+            auto acq = co_await m->startup().acquire(*fn, target, 0);
+            if (!acq.instance)
+                break;
+            ++*out;
+        }
+    };
+    runtime.simulation().spawn(loop(&runtime, &def, pu, cfork, &count));
+    runtime.simulation().run();
+    return count;
+}
+
+} // namespace
+
+int
+main()
+{
+    for (int dpus : {0, 1, 2}) {
+        sim::Simulation sim;
+        auto computer = hw::buildCpuDpuServer(
+            sim, dpus, hw::DpuGeneration::Bf1);
+        computer->pu(0).tryAllocate(6ULL << 30); // host OS reserve
+        for (int pu = 1; pu <= dpus; ++pu)
+            computer->pu(pu).tryAllocate(512ULL << 20);
+
+        core::MoleculeOptions options;
+        options.startup.warmCapacity = 1u << 20;
+        core::Molecule runtime(*computer, options);
+        runtime.registerCpuFunction(
+            "image-resize", {hw::PuType::HostCpu, hw::PuType::Dpu});
+        runtime.start();
+
+        const auto &def = runtime.registry().find("image-resize");
+        int total = fill(runtime, def, 0, /*cfork=*/false);
+        std::printf("CPU%s: %4d instances on the host",
+                    dpus ? " + DPUs" : "      ", total);
+        for (int pu = 1; pu <= dpus; ++pu) {
+            const int n = fill(runtime, def, pu, /*cfork=*/true);
+            total += n;
+            std::printf(" + %d on %s", n,
+                        computer->pu(pu).name().c_str());
+        }
+        std::printf("  => %d total\n", total);
+    }
+    std::printf("\nEach BlueField adds ~25%% more instances: cfork'd "
+                "children only pay private pages.\n");
+    return 0;
+}

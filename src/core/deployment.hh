@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Deployment: the software stack wired onto one heterogeneous computer.
+ *
+ * Owns one LocalOs and one runc runtime per general-purpose PU, the
+ * XPU-Shim network (with the paper's default transports: plain FIFO
+ * XPUcalls on the fast host CPU, MPSC+polling on DPUs, §6.1), one runf
+ * per FPGA card and one runG per GPU — runf/runG hang off the host
+ * PU's *virtual* shim instance (§4.1).
+ */
+
+#ifndef MOLECULE_CORE_DEPLOYMENT_HH
+#define MOLECULE_CORE_DEPLOYMENT_HH
+
+#include <memory>
+#include <vector>
+
+#include "hw/computer.hh"
+#include "sandbox/runc.hh"
+#include "sandbox/runf.hh"
+#include "sandbox/rung.hh"
+#include "xpu/client.hh"
+#include "xpu/shim.hh"
+
+namespace molecule::core {
+
+/**
+ * All per-PU software of one worker machine.
+ */
+class Deployment
+{
+  public:
+    explicit Deployment(hw::Computer &computer);
+
+    Deployment(const Deployment &) = delete;
+    Deployment &operator=(const Deployment &) = delete;
+
+    hw::Computer &computer() { return computer_; }
+
+    sim::Simulation &simulation() { return computer_.simulation(); }
+
+    os::LocalOs &osOn(int pu);
+
+    sandbox::RuncRuntime &runcOn(int pu);
+
+    xpu::XpuShimNetwork &shimNet() { return *shimNet_; }
+
+    xpu::XpuShim &shimOn(int pu) { return shimNet_->shimOn(pu); }
+
+    /** runf instance of FPGA card @p index. */
+    sandbox::RunfRuntime &runf(int index);
+
+    std::size_t runfCount() const { return runfs_.size(); }
+
+    /** runG instance of GPU card @p index. */
+    sandbox::RungRuntime &rung(int index);
+
+    std::size_t rungCount() const { return rungs_.size(); }
+
+    /** General-purpose PU ids (host CPU first). */
+    const std::vector<int> &generalPus() const { return generalPus_; }
+
+    /** PU ids of a given type. */
+    std::vector<int> pusOfType(hw::PuType type) const;
+
+  private:
+    hw::Computer &computer_;
+    std::vector<std::unique_ptr<os::LocalOs>> oses_;
+    std::unique_ptr<xpu::XpuShimNetwork> shimNet_;
+    std::vector<std::unique_ptr<sandbox::RuncRuntime>> runcs_;
+    std::vector<std::unique_ptr<sandbox::RunfRuntime>> runfs_;
+    std::vector<std::unique_ptr<sandbox::RungRuntime>> rungs_;
+    std::vector<int> generalPus_;
+};
+
+} // namespace molecule::core
+
+#endif // MOLECULE_CORE_DEPLOYMENT_HH

@@ -1,0 +1,273 @@
+#include "core/molecule.hh"
+
+#include "hw/calibration.hh"
+#include "sim/logging.hh"
+
+namespace molecule::core {
+
+namespace calib = hw::calib;
+
+Molecule::Molecule(hw::Computer &computer, MoleculeOptions options)
+    : computer_(computer), options_(options)
+{
+    dep_ = std::make_unique<Deployment>(computer_);
+    startup_ = std::make_unique<StartupManager>(*dep_, registry_,
+                                                options_.startup);
+    scheduler_ = std::make_unique<Scheduler>(*dep_, registry_);
+    dag_ = std::make_unique<DagEngine>(*dep_, *startup_, registry_);
+}
+
+Molecule::~Molecule() = default;
+
+void
+Molecule::registerCpuFunction(const std::string &name,
+                              const std::vector<hw::PuType> &kinds)
+{
+    FunctionDef def;
+    def.name = name;
+    def.cpuWork = &catalog_.cpu(name);
+    for (auto kind : kinds) {
+        // DPU execution is priced below host CPU (§4.1).
+        def.profiles.push_back(Profile{
+            kind, kind == hw::PuType::Dpu ? 0.6 : 1.0});
+    }
+    registry_.add(std::move(def));
+}
+
+void
+Molecule::registerFpgaFunction(const std::string &name,
+                               std::uint64_t units)
+{
+    FunctionDef def;
+    def.name = name;
+    def.fpgaWork = &catalog_.fpga(name);
+    def.fpgaUnits = units;
+    // FPGA is the most expensive profile (§4.1).
+    def.profiles.push_back(Profile{hw::PuType::FpgaHost, 3.0});
+    registry_.add(std::move(def));
+}
+
+void
+Molecule::registerGpuFunction(const std::string &name,
+                              sim::SimTime kernelTime,
+                              std::uint64_t ioBytes)
+{
+    FunctionDef def;
+    def.name = name;
+    def.gpuKernelTime = kernelTime;
+    def.gpuIoBytes = ioBytes;
+    def.profiles.push_back(Profile{hw::PuType::GpuHost, 2.0});
+    registry_.add(std::move(def));
+}
+
+void
+Molecule::registerHybridFunction(const std::string &cpuName,
+                                 const std::string &fpgaName,
+                                 std::uint64_t units)
+{
+    FunctionDef def;
+    def.name = cpuName;
+    def.cpuWork = &catalog_.cpu(cpuName);
+    def.fpgaWork = &catalog_.fpga(fpgaName);
+    def.fpgaUnits = units;
+    def.profiles.push_back(Profile{hw::PuType::HostCpu, 1.0});
+    def.profiles.push_back(Profile{hw::PuType::FpgaHost, 3.0});
+    registry_.add(std::move(def));
+}
+
+void
+Molecule::start()
+{
+    if (started_)
+        return;
+    started_ = true;
+    auto boot = [](StartupManager *s, int managerPu) -> sim::Task<> {
+        co_await s->bootstrap(managerPu);
+    };
+    simulation().spawn(boot(startup_.get(), options_.managerPu));
+    simulation().run();
+}
+
+sim::Task<InvocationRecord>
+Molecule::invoke(const std::string &fn, int pu)
+{
+    std::string owned_fn = fn;
+    const FunctionDef &def = registry_.find(owned_fn);
+    MOLECULE_ASSERT(def.cpuWork != nullptr,
+                    "'%s' is accelerator-only; use invokeFpga",
+                    owned_fn.c_str());
+    auto &sim = simulation();
+    InvocationRecord rec;
+    rec.function = owned_fn;
+
+    int target = pu >= 0 ? pu : scheduler_->pickPu(def);
+    MOLECULE_ASSERT(target >= 0, "no PU can admit '%s'",
+                    owned_fn.c_str());
+    rec.pu = target;
+
+    const auto t0 = sim.now();
+    AcquiredInstance acq =
+        co_await startup_->acquire(def, target, options_.managerPu);
+    MOLECULE_ASSERT(acq.instance != nullptr, "admission failed for '%s'",
+                    owned_fn.c_str());
+    rec.coldStart = acq.cold;
+    rec.startup = acq.startupTime;
+
+    // Request delivery from the runtime into the instance.
+    const auto commStart = sim.now();
+    auto &os = dep_->osOn(target);
+    if (options_.managerPu != target) {
+        co_await dep_->shimNet().transfer(options_.managerPu, target,
+                                          def.cpuWork->msgBytes);
+    }
+    const bool isNode =
+        def.cpuWork->image.language == sandbox::Language::Node;
+    if (options_.dagMode == DagCommMode::BaselineHttp) {
+        co_await sim.delay(os.pu().netCost(
+            calib::kHttpEdgeEndpointCost +
+            (isNode ? calib::kExpressDispatch : calib::kFlaskDispatch)));
+    } else {
+        co_await sim.delay(os.pu().netCost(
+            calib::kIpcSerializeCost +
+            (isNode ? calib::kFifoDispatchNode
+                    : calib::kFifoDispatchPython)));
+    }
+    rec.communication = sim.now() - commStart;
+
+    const auto execStart = sim.now();
+    const auto exec = acq.cold
+                          ? def.cpuWork->execCost *
+                                def.cpuWork->coldExecFactor
+                          : def.cpuWork->execCost;
+    co_await dep_->runcOn(target).invoke(acq.instance->id, exec);
+    rec.execution = sim.now() - execStart;
+    rec.endToEnd = sim.now() - t0;
+
+    co_await startup_->release(def, acq);
+    co_return rec;
+}
+
+InvocationRecord
+Molecule::invokeSync(const std::string &fn, int pu)
+{
+    InvocationRecord out;
+    auto run = [](Molecule *self, std::string name, int target,
+                  InvocationRecord *o) -> sim::Task<> {
+        *o = co_await self->invoke(name, target);
+    };
+    simulation().spawn(run(this, fn, pu, &out));
+    simulation().run();
+    return out;
+}
+
+sim::Task<InvocationRecord>
+Molecule::invokeFpga(const std::string &fn, int fpgaIndex,
+                     std::uint64_t units)
+{
+    std::string owned_fn = fn;
+    const FunctionDef &def = registry_.find(owned_fn);
+    MOLECULE_ASSERT(def.fpgaWork != nullptr, "'%s' has no FPGA profile",
+                    owned_fn.c_str());
+    auto &sim = simulation();
+    InvocationRecord rec;
+    rec.function = owned_fn;
+    rec.pu = dep_->computer().fpga(fpgaIndex).hostPuId();
+
+    const auto t0 = sim.now();
+    AcquiredFpga acq = co_await startup_->acquireFpga(def, fpgaIndex);
+    rec.coldStart = acq.cold;
+    rec.startup = acq.startupTime;
+
+    const auto execStart = sim.now();
+    co_await dep_->runf(fpgaIndex).invoke(
+        acq.sandboxId, def.fpgaWork->kernelTime(units),
+        def.fpgaWork->dmaInBytes(units), def.fpgaWork->dmaOutBytes(units),
+        false, false);
+    rec.execution = sim.now() - execStart;
+    rec.endToEnd = sim.now() - t0;
+    co_return rec;
+}
+
+InvocationRecord
+Molecule::invokeFpgaSync(const std::string &fn, int fpgaIndex,
+                         std::uint64_t units)
+{
+    InvocationRecord out;
+    auto run = [](Molecule *self, std::string name, int idx,
+                  std::uint64_t u, InvocationRecord *o) -> sim::Task<> {
+        *o = co_await self->invokeFpga(name, idx, u);
+    };
+    simulation().spawn(run(this, fn, fpgaIndex, units, &out));
+    simulation().run();
+    return out;
+}
+
+sim::Task<InvocationRecord>
+Molecule::invokeGpu(const std::string &fn, int gpuIndex)
+{
+    std::string owned_fn = fn;
+    const FunctionDef &def = registry_.find(owned_fn);
+    MOLECULE_ASSERT(def.gpuKernelTime > sim::SimTime(0),
+                    "'%s' has no GPU profile", owned_fn.c_str());
+    auto &sim = simulation();
+    InvocationRecord rec;
+    rec.function = owned_fn;
+    rec.pu = dep_->computer().gpuDev(gpuIndex).hostPuId();
+
+    const auto t0 = sim.now();
+    AcquiredFpga acq = co_await startup_->acquireGpu(def, gpuIndex);
+    rec.coldStart = acq.cold;
+    rec.startup = acq.startupTime;
+
+    const auto execStart = sim.now();
+    co_await dep_->rung(gpuIndex).invoke(acq.sandboxId,
+                                         def.gpuKernelTime,
+                                         def.gpuIoBytes,
+                                         def.gpuIoBytes);
+    rec.execution = sim.now() - execStart;
+    rec.endToEnd = sim.now() - t0;
+    co_return rec;
+}
+
+InvocationRecord
+Molecule::invokeGpuSync(const std::string &fn, int gpuIndex)
+{
+    InvocationRecord out;
+    auto run = [](Molecule *self, std::string name, int idx,
+                  InvocationRecord *o) -> sim::Task<> {
+        *o = co_await self->invokeGpu(name, idx);
+    };
+    simulation().spawn(run(this, fn, gpuIndex, &out));
+    simulation().run();
+    return out;
+}
+
+sim::Task<ChainRecord>
+Molecule::invokeChain(const ChainSpec &spec, std::vector<int> placement,
+                      bool prewarm)
+{
+    ChainSpec owned_spec = spec;
+    std::vector<int> owned_placement = std::move(placement);
+    if (owned_placement.empty())
+        owned_placement = scheduler_->placeChain(owned_spec);
+    co_return co_await dag_->run(owned_spec, owned_placement,
+                                 options_.dagMode, prewarm,
+                                 options_.managerPu);
+}
+
+ChainRecord
+Molecule::invokeChainSync(const ChainSpec &spec,
+                          std::vector<int> placement, bool prewarm)
+{
+    ChainRecord out;
+    auto run = [](Molecule *self, ChainSpec s, std::vector<int> p,
+                  bool w, ChainRecord *o) -> sim::Task<> {
+        *o = co_await self->invokeChain(s, std::move(p), w);
+    };
+    simulation().spawn(run(this, spec, std::move(placement), prewarm,
+                           &out));
+    simulation().run();
+    return out;
+}
+
+} // namespace molecule::core

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * The Molecule serverless runtime (public API).
+ *
+ * Ties the whole stack together on one heterogeneous computer: the
+ * deployment (OSes, shims, sandbox runtimes), the function registry,
+ * the startup manager (cfork + keep-alive), the scheduler and the DAG
+ * engine. Two configuration axes reproduce the paper's baselines:
+ *
+ *  - Molecule        : cfork startup + IPC/nIPC DAG communication;
+ *  - Molecule-homo   : cold-boot startup + Express/Flask HTTP DAG,
+ *                      single-PU only (no XPU-Shim use).
+ *
+ * @code
+ *   sim::Simulation s;
+ *   auto computer = hw::buildCpuDpuServer(s, 2, hw::DpuGeneration::Bf1);
+ *   core::Molecule runtime(*computer, core::MoleculeOptions{});
+ *   runtime.registerCpuFunction("helloworld",
+ *                               {hw::PuType::HostCpu, hw::PuType::Dpu});
+ *   runtime.start();
+ *   auto record = runtime.invokeSync("helloworld");
+ * @endcode
+ */
+
+#ifndef MOLECULE_CORE_MOLECULE_HH
+#define MOLECULE_CORE_MOLECULE_HH
+
+#include <memory>
+#include <optional>
+
+#include "core/dag.hh"
+#include "core/gateway.hh"
+#include "core/metrics.hh"
+#include "core/scheduler.hh"
+#include "core/startup.hh"
+#include "workloads/catalog.hh"
+
+namespace molecule::core {
+
+/** Top-level configuration. */
+struct MoleculeOptions
+{
+    StartupOptions startup;
+    DagCommMode dagMode = DagCommMode::MoleculeIpc;
+    /** PU hosting the Molecule runtime process (Figure 6). */
+    int managerPu = 0;
+
+    /** The homogeneous baseline configuration of §6. */
+    static MoleculeOptions
+    homo()
+    {
+        MoleculeOptions o;
+        o.startup.useCfork = false;
+        o.dagMode = DagCommMode::BaselineHttp;
+        return o;
+    }
+};
+
+/**
+ * One Molecule worker runtime.
+ */
+class Molecule
+{
+  public:
+    Molecule(hw::Computer &computer, MoleculeOptions options);
+
+    ~Molecule();
+
+    /** @name Sub-systems */
+    ///@{
+    Deployment &deployment() { return *dep_; }
+
+    FunctionRegistry &registry() { return registry_; }
+
+    StartupManager &startup() { return *startup_; }
+
+    Scheduler &scheduler() { return *scheduler_; }
+
+    DagEngine &dag() { return *dag_; }
+
+    workloads::Catalog &catalog() { return catalog_; }
+
+    sim::Simulation &simulation() { return computer_.simulation(); }
+
+    const MoleculeOptions &options() const { return options_; }
+    ///@}
+
+    /** @name Function registration */
+    ///@{
+
+    /**
+     * Register a CPU/DPU function from the workload catalog under its
+     * catalog name, allowed on @p kinds (DPU cheaper than CPU).
+     */
+    void registerCpuFunction(const std::string &name,
+                             const std::vector<hw::PuType> &kinds);
+
+    /** Register an FPGA function from the catalog. */
+    void registerFpgaFunction(const std::string &name,
+                              std::uint64_t units = 1);
+
+    /** Register a GPU (CUDA) function with a kernel-time model. */
+    void registerGpuFunction(const std::string &name,
+                             sim::SimTime kernelTime,
+                             std::uint64_t ioBytes = 1 << 20);
+
+    /** Register a function that may run on both CPU/DPU and FPGA. */
+    void registerHybridFunction(const std::string &cpuName,
+                                const std::string &fpgaName,
+                                std::uint64_t units = 1);
+    ///@}
+
+    /**
+     * Boot the platform: executors on every PU (xSpawn), cfork
+     * templates, container pools. Runs the simulation to completion.
+     */
+    void start();
+
+    /** @name Invocation (synchronous helpers run the simulation) */
+    ///@{
+
+    /** One invocation; @p pu -1 lets the scheduler pick. */
+    sim::Task<InvocationRecord> invoke(const std::string &fn,
+                                       int pu = -1);
+
+    /** Run the simulation until @ref invoke completes. */
+    InvocationRecord invokeSync(const std::string &fn, int pu = -1);
+
+    /** One FPGA invocation with @p units of input. */
+    sim::Task<InvocationRecord> invokeFpga(const std::string &fn,
+                                           int fpgaIndex,
+                                           std::uint64_t units);
+
+    InvocationRecord invokeFpgaSync(const std::string &fn,
+                                    int fpgaIndex, std::uint64_t units);
+
+    /** One GPU invocation (§6.8 generality path). */
+    sim::Task<InvocationRecord> invokeGpu(const std::string &fn,
+                                          int gpuIndex);
+
+    InvocationRecord invokeGpuSync(const std::string &fn, int gpuIndex);
+
+    /** Run a chain; empty placement lets the scheduler place it. */
+    sim::Task<ChainRecord> invokeChain(const ChainSpec &spec,
+                                       std::vector<int> placement = {},
+                                       bool prewarm = true);
+
+    ChainRecord invokeChainSync(const ChainSpec &spec,
+                                std::vector<int> placement = {},
+                                bool prewarm = true);
+    ///@}
+
+  private:
+    hw::Computer &computer_;
+    MoleculeOptions options_;
+    workloads::Catalog catalog_;
+    FunctionRegistry registry_;
+    std::unique_ptr<Deployment> dep_;
+    std::unique_ptr<StartupManager> startup_;
+    std::unique_ptr<Scheduler> scheduler_;
+    std::unique_ptr<DagEngine> dag_;
+    bool started_ = false;
+};
+
+} // namespace molecule::core
+
+#endif // MOLECULE_CORE_MOLECULE_HH

@@ -1,0 +1,59 @@
+#include "core/scheduler.hh"
+
+#include <algorithm>
+
+namespace molecule::core {
+
+std::uint64_t
+Scheduler::admissibleBytes(int pu) const
+{
+    return dep_.computer().pu(pu).memoryFree();
+}
+
+int
+Scheduler::pickPu(const FunctionDef &fn) const
+{
+    // Profiles sorted by price: cheapest first.
+    std::vector<Profile> profiles = fn.profiles;
+    std::sort(profiles.begin(), profiles.end(),
+              [](const Profile &a, const Profile &b) {
+                  return a.pricePer100ms < b.pricePer100ms;
+              });
+    const std::uint64_t need =
+        fn.cpuWork ? fn.cpuWork->image.mem.privateBytes +
+                         fn.cpuWork->image.mem.runtimeShared / 8
+                   : 0;
+    for (const auto &profile : profiles) {
+        for (int pu : dep_.pusOfType(profile.kind)) {
+            if (admissibleBytes(pu) >= need)
+                return pu;
+        }
+    }
+    return -1;
+}
+
+std::vector<int>
+Scheduler::placeChain(const ChainSpec &spec) const
+{
+    // Chain affinity: find one PU whose kind every function allows.
+    for (int pu : dep_.generalPus()) {
+        const auto kind = dep_.computer().pu(pu).type();
+        bool allOk = true;
+        for (const auto &node : spec.nodes) {
+            const FunctionDef &def = registry_.find(node.fn);
+            if (!def.allows(kind)) {
+                allOk = false;
+                break;
+            }
+        }
+        if (allOk)
+            return std::vector<int>(spec.nodes.size(), pu);
+    }
+    // Fall back to per-node placement.
+    std::vector<int> placement;
+    for (const auto &node : spec.nodes)
+        placement.push_back(pickPu(registry_.find(node.fn)));
+    return placement;
+}
+
+} // namespace molecule::core

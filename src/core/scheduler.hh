@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Placement: profile selection and chain affinity (§4.1, §5).
+ *
+ * Users give each function a set of PU-kind profiles with prices; the
+ * control plane picks a concrete PU per request. The default policy
+ * prefers the cheapest allowed kind with free capacity and keeps all
+ * functions of one chain on the same PU (§5 "Profile selections").
+ */
+
+#ifndef MOLECULE_CORE_SCHEDULER_HH
+#define MOLECULE_CORE_SCHEDULER_HH
+
+#include "core/dag.hh"
+#include "core/deployment.hh"
+#include "core/function.hh"
+
+namespace molecule::core {
+
+/**
+ * Placement policy over one deployment.
+ */
+class Scheduler
+{
+  public:
+    Scheduler(Deployment &dep, const FunctionRegistry &registry)
+        : dep_(dep), registry_(registry)
+    {}
+
+    /**
+     * Pick a PU for a single invocation of @p fn: the profile with the
+     * lowest price whose PU kind has a unit with enough free memory
+     * for a fresh instance.
+     * @return PU id, or -1 when no PU can admit the function.
+     */
+    int pickPu(const FunctionDef &fn) const;
+
+    /**
+     * Place a whole chain: all nodes on one PU when a single PU allows
+     * every function (chain affinity); otherwise each node falls back
+     * to pickPu.
+     */
+    std::vector<int> placeChain(const ChainSpec &spec) const;
+
+    /** Free memory on @p pu minus a safety margin (bytes). */
+    std::uint64_t admissibleBytes(int pu) const;
+
+  private:
+    Deployment &dep_;
+    const FunctionRegistry &registry_;
+};
+
+} // namespace molecule::core
+
+#endif // MOLECULE_CORE_SCHEDULER_HH

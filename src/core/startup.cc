@@ -1,0 +1,341 @@
+#include "core/startup.hh"
+
+#include <algorithm>
+
+#include "hw/calibration.hh"
+#include "sim/logging.hh"
+
+namespace molecule::core {
+
+namespace calib = hw::calib;
+
+StartupManager::StartupManager(Deployment &dep,
+                               const FunctionRegistry &registry,
+                               StartupOptions options)
+    : dep_(dep), registry_(registry), options_(options)
+{}
+
+sim::Task<>
+StartupManager::bootstrap(int managerPu)
+{
+    if (bootstrapped_)
+        co_return;
+    bootstrapped_ = true;
+
+    // Launch an executor on every other general-purpose PU via xSpawn
+    // (Figure 6). The executor program is a thin command loop.
+    dep_.shimNet().registerProgram("molecule-executor",
+                                   [](xpu::XpuShim &, os::Process &) {});
+    os::Process *manager = co_await dep_.osOn(managerPu).spawnProcess(
+        "molecule-runtime", 32 << 20);
+    MOLECULE_ASSERT(manager != nullptr, "manager spawn failed");
+    xpu::XpuClient client(dep_.shimOn(managerPu), *manager);
+    for (int pu : dep_.generalPus()) {
+        if (pu == managerPu)
+            continue;
+        std::vector<xpu::CapGrant> capv;
+        auto r = co_await client.xspawn(pu, "molecule-executor", capv);
+        MOLECULE_ASSERT(r.status == xpu::XpuStatus::Ok,
+                        "executor spawn on PU %d failed", pu);
+    }
+
+    if (!options_.useCfork)
+        co_return;
+
+    // Prepare one template per language per PU plus the container
+    // pools, concurrently across PUs.
+    std::vector<sim::Task<>> preps;
+    for (int pu : dep_.generalPus()) {
+        auto prepOne = [](Deployment *dep, const FunctionRegistry *reg,
+                          int target, int pool) -> sim::Task<> {
+            auto &runc = dep->runcOn(target);
+            bool preparedPython = false, preparedNode = false;
+            // One generic template per language, seeded from the first
+            // registered function image of that language.
+            for (const auto *img : reg->imagesForTemplates()) {
+                if (img->language == sandbox::Language::Python &&
+                    !preparedPython) {
+                    preparedPython =
+                        co_await runc.prepareTemplate(*img);
+                } else if (img->language == sandbox::Language::Node &&
+                           !preparedNode) {
+                    preparedNode = co_await runc.prepareTemplate(*img);
+                }
+            }
+            co_await runc.prewarmFunctionContainers(pool);
+        };
+        preps.push_back(prepOne(&dep_, &registry_, pu,
+                                options_.pooledContainersPerPu));
+    }
+    co_await sim::allOf(dep_.simulation(), std::move(preps));
+}
+
+sim::Task<>
+StartupManager::commandRoundTrip(int managerPu, int targetPu)
+{
+    if (managerPu == targetPu)
+        co_return;
+    // Command over nIPC, executor-side processing, response back.
+    co_await dep_.shimNet().transfer(managerPu, targetPu, 160);
+    co_await dep_.osOn(targetPu).swDelay(calib::kExecutorCommandCost);
+    co_await dep_.shimNet().transfer(targetPu, managerPu, 64);
+}
+
+sim::Task<AcquiredInstance>
+StartupManager::acquire(const FunctionDef &fn, int pu, int managerPu)
+{
+    MOLECULE_ASSERT(fn.cpuWork != nullptr,
+                    "function '%s' has no CPU/DPU workload",
+                    fn.name.c_str());
+    auto &sim = dep_.simulation();
+    const auto t0 = sim.now();
+    const PoolKey key{fn.name, pu};
+
+    ++freq_[key];
+    auto poolIt = warmPools_.find(key);
+    if (poolIt != warmPools_.end() && !poolIt->second.empty()) {
+        WarmEntry entry = poolIt->second.front();
+        poolIt->second.pop_front();
+        ++warmHits_;
+        AcquiredInstance out;
+        out.instance = dep_.runcOn(pu).find(entry.sandboxId);
+        MOLECULE_ASSERT(out.instance != nullptr,
+                        "warm pool held a dead sandbox");
+        out.pu = pu;
+        out.cold = false;
+        out.startupTime = sim.now() - t0;
+        co_return out;
+    }
+
+    // Cold start. Remote targets pay the executor command round-trip.
+    ++coldStarts_;
+    co_await commandRoundTrip(managerPu, pu);
+
+    auto &runc = dep_.runcOn(pu);
+    runc.setStartupPath(options_.useCfork
+                            ? options_.cforkPath
+                            : sandbox::StartupPath::ColdBoot);
+    const std::string id =
+        fn.name + "#" + std::to_string(nextSandboxId_++);
+    sandbox::CreateRequest req{id, &fn.cpuWork->image};
+    const bool created = co_await runc.create(req);
+    if (!created) {
+        // Admission failure (memory exhausted on this PU).
+        co_return AcquiredInstance{};
+    }
+    const bool started = co_await runc.start(id);
+    MOLECULE_ASSERT(started, "sandbox '%s' failed to start", id.c_str());
+
+    AcquiredInstance out;
+    out.instance = runc.find(id);
+    out.pu = pu;
+    out.cold = true;
+    out.startupTime = sim.now() - t0;
+    knownColdMs_[key] = out.startupTime.toMilliseconds();
+    co_return out;
+}
+
+sim::Task<>
+StartupManager::release(const FunctionDef &fn, AcquiredInstance inst)
+{
+    if (!inst.instance)
+        co_return;
+    const PoolKey key{fn.name, inst.pu};
+    WarmEntry entry;
+    entry.sandboxId = inst.instance->id;
+    entry.lastUsed = dep_.simulation().now();
+    // Greedy-dual uses the *function's* cold-start cost (what an
+    // eviction would make the next request pay), not this instance's.
+    auto known = knownColdMs_.find(key);
+    entry.costMs = known != knownColdMs_.end()
+                       ? known->second
+                       : inst.startupTime.toMilliseconds();
+    entry.freq = freq_[key];
+    entry.sizeMb =
+        double(fn.cpuWork->image.mem.coldTotal()) / double(1 << 20);
+    // FaasCache greedy-dual priority: clock + freq * cost / size.
+    double &clock = gdClock_[key];
+    entry.gdPriority = clock + double(entry.freq) * entry.costMs /
+                                   std::max(1.0, entry.sizeMb);
+    warmPools_[key].push_back(std::move(entry));
+    co_await evictIfNeeded(key);
+    if (options_.globalWarmCapacityPerPu > 0)
+        co_await evictGlobal(inst.pu);
+}
+
+sim::Task<>
+StartupManager::evictIfNeeded(const PoolKey &key)
+{
+    auto &pool = warmPools_[key];
+    while (pool.size() > options_.warmCapacity) {
+        std::size_t victim = 0;
+        if (options_.policy == KeepAlivePolicy::Lru) {
+            // Oldest lastUsed.
+            for (std::size_t i = 1; i < pool.size(); ++i)
+                if (pool[i].lastUsed < pool[victim].lastUsed)
+                    victim = i;
+        } else {
+            // Lowest greedy-dual priority; its priority becomes the
+            // new clock (classic greedy-dual aging).
+            for (std::size_t i = 1; i < pool.size(); ++i)
+                if (pool[i].gdPriority < pool[victim].gdPriority)
+                    victim = i;
+            gdClock_[key] = pool[victim].gdPriority;
+        }
+        const std::string id = pool[victim].sandboxId;
+        pool.erase(pool.begin() + std::ptrdiff_t(victim));
+        co_await dep_.runcOn(key.second).destroy(id);
+    }
+}
+
+std::size_t
+StartupManager::warmTotalOn(int pu) const
+{
+    std::size_t total = 0;
+    for (const auto &[key, pool] : warmPools_)
+        if (key.second == pu)
+            total += pool.size();
+    return total;
+}
+
+sim::Task<>
+StartupManager::evictGlobal(int pu)
+{
+    while (warmTotalOn(pu) > options_.globalWarmCapacityPerPu) {
+        // Find the global victim across this PU's pools.
+        PoolKey victimKey{"", pu};
+        std::size_t victimIdx = 0;
+        bool found = false;
+        for (auto &[key, pool] : warmPools_) {
+            if (key.second != pu || pool.empty())
+                continue;
+            for (std::size_t i = 0; i < pool.size(); ++i) {
+                if (!found) {
+                    victimKey = key;
+                    victimIdx = i;
+                    found = true;
+                    continue;
+                }
+                const auto &cur = warmPools_[victimKey][victimIdx];
+                const bool better =
+                    options_.policy == KeepAlivePolicy::Lru
+                        ? pool[i].lastUsed < cur.lastUsed
+                        : pool[i].gdPriority < cur.gdPriority;
+                if (better) {
+                    victimKey = key;
+                    victimIdx = i;
+                }
+            }
+        }
+        if (!found)
+            co_return;
+        auto &pool = warmPools_[victimKey];
+        if (options_.policy == KeepAlivePolicy::GreedyDual)
+            gdClock_[victimKey] = pool[victimIdx].gdPriority;
+        const std::string id = pool[victimIdx].sandboxId;
+        pool.erase(pool.begin() + std::ptrdiff_t(victimIdx));
+        co_await dep_.runcOn(pu).destroy(id);
+    }
+}
+
+void
+StartupManager::setFpgaHotSet(int fpgaIndex,
+                              std::vector<std::string> funcIds)
+{
+    fpgaHotSets_[fpgaIndex] = std::move(funcIds);
+}
+
+sim::Task<AcquiredFpga>
+StartupManager::acquireFpga(const FunctionDef &fn, int fpgaIndex)
+{
+    MOLECULE_ASSERT(fn.fpgaWork != nullptr,
+                    "function '%s' has no FPGA workload",
+                    fn.name.c_str());
+    auto &sim = dep_.simulation();
+    const auto t0 = sim.now();
+    auto &runf = dep_.runf(fpgaIndex);
+    const std::string sandboxId = "fpga/" + fn.name;
+
+    AcquiredFpga out;
+    out.sandboxId = sandboxId;
+    out.fpgaIndex = fpgaIndex;
+
+    if (!runf.cached(fn.fpgaWork->image.funcId)) {
+        // Not resident: compose one image from the hot set (which
+        // always includes the requested function) and program it.
+        ++coldStarts_;
+        out.cold = true;
+        std::vector<sandbox::CreateRequest> reqs;
+        std::vector<std::string> hot = fpgaHotSets_[fpgaIndex];
+        if (std::find(hot.begin(), hot.end(), fn.name) == hot.end())
+            hot.push_back(fn.name);
+        for (const auto &name : hot) {
+            const FunctionDef &def = registry_.find(name);
+            MOLECULE_ASSERT(def.fpgaWork != nullptr,
+                            "hot-set fn '%s' has no FPGA image",
+                            name.c_str());
+            reqs.push_back(sandbox::CreateRequest{
+                "fpga/" + name, &def.fpgaWork->image});
+        }
+        const int created = co_await runf.createVector(reqs);
+        MOLECULE_ASSERT(created == int(reqs.size()),
+                        "FPGA image composition failed (resources?)");
+    } else {
+        ++warmHits_;
+    }
+    const bool started = co_await runf.start(sandboxId);
+    MOLECULE_ASSERT(started, "FPGA sandbox '%s' failed to start",
+                    sandboxId.c_str());
+    out.startupTime = sim.now() - t0;
+    co_return out;
+}
+
+sim::Task<AcquiredFpga>
+StartupManager::acquireGpu(const FunctionDef &fn, int gpuIndex)
+{
+    auto &sim = dep_.simulation();
+    const auto t0 = sim.now();
+    auto &rung = dep_.rung(gpuIndex);
+    const std::string sandboxId = "gpu/" + fn.name;
+
+    AcquiredFpga out;
+    out.sandboxId = sandboxId;
+    out.fpgaIndex = gpuIndex;
+    if (rung.state(sandboxId) == sandbox::SandboxState::Unknown) {
+        ++coldStarts_;
+        out.cold = true;
+        sandbox::FunctionImage *img = gpuImage(fn);
+        sandbox::CreateRequest req{sandboxId, img};
+        const bool created = co_await rung.create(req);
+        MOLECULE_ASSERT(created, "GPU create failed for '%s'",
+                        fn.name.c_str());
+        const bool started = co_await rung.start(sandboxId);
+        MOLECULE_ASSERT(started, "GPU start failed");
+    } else {
+        ++warmHits_;
+    }
+    out.startupTime = sim.now() - t0;
+    co_return out;
+}
+
+sandbox::FunctionImage *
+StartupManager::gpuImage(const FunctionDef &fn)
+{
+    auto it = gpuImages_.find(fn.name);
+    if (it == gpuImages_.end()) {
+        auto img = std::make_unique<sandbox::FunctionImage>();
+        img->funcId = fn.name;
+        img->language = sandbox::Language::CudaCpp;
+        it = gpuImages_.emplace(fn.name, std::move(img)).first;
+    }
+    return it->second.get();
+}
+
+std::size_t
+StartupManager::warmCount(const std::string &fn, int pu) const
+{
+    auto it = warmPools_.find(PoolKey{fn, pu});
+    return it == warmPools_.end() ? 0 : it->second.size();
+}
+
+} // namespace molecule::core

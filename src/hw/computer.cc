@@ -1,0 +1,162 @@
+#include "hw/computer.hh"
+
+#include "sim/logging.hh"
+
+namespace molecule::hw {
+
+ProcessingUnit *
+Computer::addPu(PuDescriptor desc)
+{
+    const int id = int(pus_.size());
+    pus_.push_back(std::make_unique<ProcessingUnit>(sim_, id, desc));
+    // Same-PU communication goes through shared memory.
+    auto *self = topology_.makeLink(LinkParams::forKind(LinkKind::Shmem));
+    topology_.addRoute(id, id, Route{{self}, sim::SimTime(0)});
+    return pus_.back().get();
+}
+
+FpgaDevice *
+Computer::addFpga(int hostPuId, FpgaResources totals, int dramBanks)
+{
+    MOLECULE_ASSERT(hostPuId >= 0 && hostPuId < puCount(),
+                    "FPGA host PU %d out of range", hostPuId);
+    const int id = int(fpgas_.size());
+    fpgas_.push_back(std::make_unique<FpgaDevice>(sim_, id, hostPuId,
+                                                  totals, dramBanks));
+    return fpgas_.back().get();
+}
+
+GpuDevice *
+Computer::addGpu(int hostPuId, int maxConcurrentKernels)
+{
+    MOLECULE_ASSERT(hostPuId >= 0 && hostPuId < puCount(),
+                    "GPU host PU %d out of range", hostPuId);
+    const int id = int(gpus_.size());
+    gpus_.push_back(std::make_unique<GpuDevice>(sim_, id, hostPuId,
+                                                maxConcurrentKernels));
+    return gpus_.back().get();
+}
+
+void
+Computer::wireStandardRoutes()
+{
+    // RDMA between the host CPU and every DPU; DPU<->DPU pairs go
+    // through the host (CPU-intercepted, §5 Limitations).
+    ProcessingUnit *host = nullptr;
+    for (auto &p : pus_) {
+        if (p->type() == PuType::HostCpu) {
+            host = p.get();
+            break;
+        }
+    }
+    if (!host)
+        return;
+
+    std::vector<ProcessingUnit *> dpus;
+    for (auto &p : pus_)
+        if (p->type() == PuType::Dpu)
+            dpus.push_back(p.get());
+
+    std::vector<Link *> uplink(pus_.size(), nullptr);
+    for (auto *dpu : dpus) {
+        auto *rdma =
+            topology_.makeLink(LinkParams::forKind(LinkKind::PcieRdma));
+        topology_.addBidirectional(host->id(), dpu->id(), rdma);
+        uplink[std::size_t(dpu->id())] = rdma;
+    }
+    for (auto *a : dpus) {
+        for (auto *b : dpus) {
+            if (a == b)
+                continue;
+            Route r;
+            r.hops = {uplink[std::size_t(a->id())],
+                      uplink[std::size_t(b->id())]};
+            r.forwardCost = calib::kCpuInterceptCost;
+            topology_.addRoute(a->id(), b->id(), std::move(r));
+        }
+    }
+}
+
+ProcessingUnit &
+Computer::pu(int id)
+{
+    MOLECULE_ASSERT(id >= 0 && id < puCount(), "PU id %d out of range",
+                    id);
+    return *pus_[std::size_t(id)];
+}
+
+const ProcessingUnit &
+Computer::pu(int id) const
+{
+    MOLECULE_ASSERT(id >= 0 && id < puCount(), "PU id %d out of range",
+                    id);
+    return *pus_[std::size_t(id)];
+}
+
+ProcessingUnit &
+Computer::hostCpu()
+{
+    for (auto &p : pus_)
+        if (p->type() == PuType::HostCpu)
+            return *p;
+    sim::fatal("computer has no host CPU");
+}
+
+std::vector<ProcessingUnit *>
+Computer::pusOfType(PuType type)
+{
+    std::vector<ProcessingUnit *> out;
+    for (auto &p : pus_)
+        if (p->type() == type)
+            out.push_back(p.get());
+    return out;
+}
+
+std::unique_ptr<Computer>
+buildCpuDpuServer(sim::Simulation &sim, int dpuCount, DpuGeneration gen)
+{
+    auto computer = std::make_unique<Computer>(sim);
+    computer->addPu(xeon8160Descriptor());
+    for (int i = 0; i < dpuCount; ++i) {
+        computer->addPu(gen == DpuGeneration::Bf1
+                            ? bluefield1Descriptor(i)
+                            : bluefield2Descriptor(i));
+    }
+    computer->wireStandardRoutes();
+    return computer;
+}
+
+std::unique_ptr<Computer>
+buildF1Server(sim::Simulation &sim, int fpgaCount)
+{
+    auto computer = std::make_unique<Computer>(sim);
+    computer->addPu(f1HostDescriptor());
+    for (int i = 0; i < fpgaCount; ++i)
+        computer->addFpga(0, FpgaResources::f1Totals());
+    computer->wireStandardRoutes();
+    return computer;
+}
+
+std::unique_ptr<Computer>
+buildDesktop(sim::Simulation &sim)
+{
+    auto computer = std::make_unique<Computer>(sim);
+    computer->addPu(desktopI7Descriptor());
+    computer->wireStandardRoutes();
+    return computer;
+}
+
+std::unique_ptr<Computer>
+buildFullHetero(sim::Simulation &sim)
+{
+    auto computer = std::make_unique<Computer>(sim);
+    computer->addPu(xeon8160Descriptor());
+    computer->addPu(bluefield2Descriptor(0));
+    computer->addPu(bluefield2Descriptor(1));
+    computer->addFpga(0, FpgaResources::f1Totals());
+    computer->addGpu(0);
+    computer->wireStandardRoutes();
+    return computer;
+}
+
+} // namespace molecule::hw

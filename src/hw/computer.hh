@@ -1,0 +1,128 @@
+/**
+ * @file
+ * The heterogeneous computer: PUs + accelerators + interconnect.
+ *
+ * A Computer owns every hardware object of one worker machine and wires
+ * the topology (Table 1 "Communication methods"): shared memory within
+ * a PU, RDMA between CPU and DPU, DMA between CPU and FPGA/GPU hosts,
+ * and CPU-intercepted two-hop routes between DPUs (and DPU<->FPGA).
+ *
+ * Builders for the paper's testbeds are provided (§6 "two settings"
+ * plus the Fig 11 desktop).
+ */
+
+#ifndef MOLECULE_HW_COMPUTER_HH
+#define MOLECULE_HW_COMPUTER_HH
+
+#include <memory>
+#include <vector>
+
+#include "hw/fpga.hh"
+#include "hw/gpu.hh"
+#include "hw/interconnect.hh"
+#include "hw/pu.hh"
+
+namespace molecule::hw {
+
+/** DPU generation selector for the CPU-DPU testbed builder. */
+enum class DpuGeneration { Bf1, Bf2 };
+
+/**
+ * One worker machine. PUs are identified by dense ids assigned in
+ * creation order; id 0 is conventionally the host CPU.
+ */
+class Computer
+{
+  public:
+    explicit Computer(sim::Simulation &sim)
+        : sim_(sim), topology_(sim)
+    {}
+
+    Computer(const Computer &) = delete;
+    Computer &operator=(const Computer &) = delete;
+
+    /** Add a PU; a same-PU shmem route is registered automatically. */
+    ProcessingUnit *addPu(PuDescriptor desc);
+
+    /** Attach an FPGA card managed by PU @p hostPuId. */
+    FpgaDevice *addFpga(int hostPuId, FpgaResources totals,
+                        int dramBanks = 4);
+
+    /** Attach a GPU card managed by PU @p hostPuId. */
+    GpuDevice *addGpu(int hostPuId, int maxConcurrentKernels = 16);
+
+    /**
+     * Wire the standard routes: RDMA host<->DPU, and CPU-intercepted
+     * DPU<->DPU two-hop routes. Call after all PUs are added.
+     */
+    void wireStandardRoutes();
+
+    sim::Simulation &simulation() { return sim_; }
+
+    Topology &topology() { return topology_; }
+    const Topology &topology() const { return topology_; }
+
+    int puCount() const { return int(pus_.size()); }
+
+    ProcessingUnit &pu(int id);
+    const ProcessingUnit &pu(int id) const;
+
+    /** The host CPU (fatal when none exists). */
+    ProcessingUnit &hostCpu();
+
+    /** All PUs of a given type. */
+    std::vector<ProcessingUnit *> pusOfType(PuType type);
+
+    const std::vector<std::unique_ptr<FpgaDevice>> &fpgas() const
+    {
+        return fpgas_;
+    }
+
+    FpgaDevice &fpga(int index) { return *fpgas_.at(std::size_t(index)); }
+
+    const std::vector<std::unique_ptr<GpuDevice>> &gpus() const
+    {
+        return gpus_;
+    }
+
+    GpuDevice &gpuDev(int index) { return *gpus_.at(std::size_t(index)); }
+
+  private:
+    sim::Simulation &sim_;
+    Topology topology_;
+    std::vector<std::unique_ptr<ProcessingUnit>> pus_;
+    std::vector<std::unique_ptr<FpgaDevice>> fpgas_;
+    std::vector<std::unique_ptr<GpuDevice>> gpus_;
+};
+
+/** @name Paper testbed builders */
+///@{
+
+/**
+ * Setting 1 (§6): Xeon 8160 host + @p dpuCount BlueField DPUs over
+ * PCIe RDMA.
+ */
+std::unique_ptr<Computer> buildCpuDpuServer(sim::Simulation &sim,
+                                            int dpuCount,
+                                            DpuGeneration gen);
+
+/**
+ * Setting 2 (§6): AWS F1.x16large with @p fpgaCount UltraScale+ FPGAs
+ * reached over DMA from the host CPU.
+ */
+std::unique_ptr<Computer> buildF1Server(sim::Simulation &sim,
+                                        int fpgaCount);
+
+/** Fig 11 desktop (i7-9700), single PU. */
+std::unique_ptr<Computer> buildDesktop(sim::Simulation &sim);
+
+/**
+ * Combined machine used by the examples: host CPU, two BF-2 DPUs, one
+ * FPGA and one GPU.
+ */
+std::unique_ptr<Computer> buildFullHetero(sim::Simulation &sim);
+///@}
+
+} // namespace molecule::hw
+
+#endif // MOLECULE_HW_COMPUTER_HH

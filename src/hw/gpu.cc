@@ -1,0 +1,52 @@
+#include "hw/gpu.hh"
+
+#include "sim/logging.hh"
+
+namespace molecule::hw {
+
+GpuDevice::GpuDevice(sim::Simulation &sim, int id, int hostPuId,
+                     int maxConcurrentKernels)
+    : sim_(sim), id_(id), hostPuId_(hostPuId),
+      kernelSlots_(sim, std::size_t(maxConcurrentKernels))
+{
+    MOLECULE_ASSERT(maxConcurrentKernels > 0,
+                    "GPU needs at least one kernel slot");
+}
+
+sim::Task<>
+GpuDevice::loadModule(const std::string &funcId)
+{
+    if (!contextCreated_) {
+        // First function on the device pays MPS context creation.
+        co_await sim_.delay(calib::kGpuContextCreateCost);
+        contextCreated_ = true;
+    }
+    co_await sim_.delay(calib::kGpuModuleLoadCost);
+    modules_[funcId] = true;
+}
+
+void
+GpuDevice::unloadModule(const std::string &funcId)
+{
+    modules_.erase(funcId);
+}
+
+bool
+GpuDevice::resident(const std::string &funcId) const
+{
+    return modules_.count(funcId) != 0;
+}
+
+sim::Task<>
+GpuDevice::launch(const std::string &funcId, sim::SimTime kernelTime)
+{
+    if (!resident(funcId))
+        sim::fatal("launching non-resident GPU function '%s'",
+                   funcId.c_str());
+    ++launchCount_;
+    co_await kernelSlots_.acquire();
+    sim::SemGuard g(kernelSlots_);
+    co_await sim_.delay(calib::kGpuLaunchCost + kernelTime);
+}
+
+} // namespace molecule::hw

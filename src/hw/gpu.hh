@@ -1,0 +1,65 @@
+/**
+ * @file
+ * GPU device model for the generality path (§6.8, Table 5).
+ *
+ * A GpuDevice hosts CUDA-style contexts managed by an MPS-like service:
+ * multiple function modules can be resident concurrently (GPUs are
+ * "nature to support vectorized abstraction"), so unlike the FPGA there
+ * is no exclusive image — only per-context module loading and kernel
+ * launches.
+ */
+
+#ifndef MOLECULE_HW_GPU_HH
+#define MOLECULE_HW_GPU_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "hw/calibration.hh"
+#include "sim/sync.hh"
+
+namespace molecule::hw {
+
+/** One GPU card with an MPS-style shared context service. */
+class GpuDevice
+{
+  public:
+    GpuDevice(sim::Simulation &sim, int id, int hostPuId,
+              int maxConcurrentKernels);
+
+    int id() const { return id_; }
+
+    int hostPuId() const { return hostPuId_; }
+
+    /** Create a context and load @p funcId's module (cold path). */
+    sim::Task<> loadModule(const std::string &funcId);
+
+    /** Drop a resident module (sandbox delete). */
+    void unloadModule(const std::string &funcId);
+
+    bool resident(const std::string &funcId) const;
+
+    std::size_t residentCount() const { return modules_.size(); }
+
+    /**
+     * Launch @p funcId's kernel for @p kernelTime; queues when the
+     * device is saturated. Fatal if not resident.
+     */
+    sim::Task<> launch(const std::string &funcId, sim::SimTime kernelTime);
+
+    std::int64_t launchCount() const { return launchCount_; }
+
+  private:
+    sim::Simulation &sim_;
+    int id_;
+    int hostPuId_;
+    sim::Semaphore kernelSlots_;
+    std::map<std::string, bool> modules_;
+    bool contextCreated_ = false;
+    std::int64_t launchCount_ = 0;
+};
+
+} // namespace molecule::hw
+
+#endif // MOLECULE_HW_GPU_HH

@@ -1,0 +1,132 @@
+#include "hw/interconnect.hh"
+
+#include "sim/logging.hh"
+
+namespace molecule::hw {
+
+const char *
+toString(LinkKind k)
+{
+    switch (k) {
+      case LinkKind::Shmem:
+        return "shmem";
+      case LinkKind::PcieRdma:
+        return "rdma";
+      case LinkKind::PcieDma:
+        return "dma";
+      case LinkKind::Ethernet:
+        return "ethernet";
+    }
+    return "?";
+}
+
+LinkParams
+LinkParams::forKind(LinkKind kind)
+{
+    LinkParams p;
+    p.kind = kind;
+    switch (kind) {
+      case LinkKind::Shmem:
+        p.baseLatency = calib::kShmemBaseLatency;
+        p.gbps = calib::kShmemGbps;
+        break;
+      case LinkKind::PcieRdma:
+        p.baseLatency = calib::kRdmaBaseLatency;
+        p.gbps = calib::kRdmaGbps;
+        break;
+      case LinkKind::PcieDma:
+        p.baseLatency = calib::kDmaBaseLatency;
+        p.gbps = calib::kDmaGbps;
+        break;
+      case LinkKind::Ethernet:
+        p.baseLatency = calib::kNetworkBaseLatency;
+        p.gbps = calib::kNetworkGbps;
+        break;
+    }
+    return p;
+}
+
+sim::SimTime
+Link::transferLatency(std::uint64_t bytes) const
+{
+    const double seconds =
+        double(bytes) * 8.0 / (params_.gbps * 1e9);
+    return params_.baseLatency + sim::SimTime::fromSeconds(seconds);
+}
+
+sim::Task<>
+Link::transfer(std::uint64_t bytes)
+{
+    bytesMoved_ += bytes;
+    const auto base = transferLatency(bytes);
+    const auto jittered = base * sim_.rng().jitter(params_.jitterRel);
+    co_await sim_.delay(jittered);
+}
+
+Link *
+Topology::makeLink(LinkParams params)
+{
+    links_.push_back(std::make_unique<Link>(sim_, params));
+    return links_.back().get();
+}
+
+void
+Topology::addRoute(int a, int b, Route route)
+{
+    MOLECULE_ASSERT(!route.hops.empty(), "route %d->%d has no hops", a, b);
+    routes_[{a, b}] = std::move(route);
+}
+
+void
+Topology::addBidirectional(int a, int b, Link *link)
+{
+    addRoute(a, b, Route{{link}, sim::SimTime(0)});
+    addRoute(b, a, Route{{link}, sim::SimTime(0)});
+}
+
+const Route &
+Topology::route(int a, int b) const
+{
+    auto it = routes_.find({a, b});
+    if (it == routes_.end())
+        sim::fatal("no route between PU %d and PU %d", a, b);
+    return it->second;
+}
+
+bool
+Topology::hasRoute(int a, int b) const
+{
+    return routes_.count({a, b}) != 0;
+}
+
+sim::Task<>
+Topology::transfer(int a, int b, std::uint64_t bytes)
+{
+    const Route &r = route(a, b);
+    bool first = true;
+    for (Link *hop : r.hops) {
+        if (!first && r.forwardCost > sim::SimTime(0)) {
+            // Store-and-forward at the intermediate PU.
+            co_await sim_.delay(r.forwardCost);
+        }
+        first = false;
+        co_await hop->transfer(bytes);
+    }
+}
+
+sim::SimTime
+Topology::transferLatency(int a, int b, std::uint64_t bytes) const
+{
+    const Route &r = route(a, b);
+    sim::SimTime total(0);
+    bool first = true;
+    for (Link *hop : r.hops) {
+        if (!first)
+            total += r.forwardCost;
+        first = false;
+        total += hop->transferLatency(bytes);
+    }
+    return total;
+}
+
+} // namespace molecule::hw

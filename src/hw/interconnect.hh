@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Interconnect model: links between PUs and route lookup.
+ *
+ * The paper's prototype exports exactly three physical paths (§5):
+ * RDMA between CPU and DPU, DMA between CPU and FPGA, and a
+ * CPU-intercepted two-hop path between DPU and FPGA. We also model
+ * same-PU shared memory and the datacenter network (remote IPC
+ * baseline of Fig 4).
+ */
+
+#ifndef MOLECULE_HW_INTERCONNECT_HH
+#define MOLECULE_HW_INTERCONNECT_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "hw/calibration.hh"
+#include "sim/sync.hh"
+
+namespace molecule::hw {
+
+/** Physical transport backing a link. */
+enum class LinkKind { Shmem, PcieRdma, PcieDma, Ethernet };
+
+const char *toString(LinkKind k);
+
+/** Latency/bandwidth parameters of one link. */
+struct LinkParams
+{
+    LinkKind kind = LinkKind::Shmem;
+    sim::SimTime baseLatency;
+    double gbps = 1.0;
+    double jitterRel = calib::kLinkJitter;
+
+    /** Canonical parameters for a link kind (from the calibration). */
+    static LinkParams forKind(LinkKind kind);
+};
+
+/**
+ * A point-to-point link. transfer() is the only operation: it costs
+ * base latency plus a bandwidth term, with multiplicative jitter from
+ * the simulation RNG.
+ */
+class Link
+{
+  public:
+    Link(sim::Simulation &sim, LinkParams params)
+        : sim_(sim), params_(params)
+    {}
+
+    const LinkParams &params() const { return params_; }
+
+    /** Latency of moving @p bytes across the link (no contention). */
+    sim::SimTime transferLatency(std::uint64_t bytes) const;
+
+    /** Move @p bytes across the link, suspending for the latency. */
+    sim::Task<> transfer(std::uint64_t bytes);
+
+    /** Total bytes moved (stats). */
+    std::uint64_t bytesMoved() const { return bytesMoved_; }
+
+  private:
+    sim::Simulation &sim_;
+    LinkParams params_;
+    std::uint64_t bytesMoved_ = 0;
+};
+
+/**
+ * A route between two PUs: one or two links plus an optional forwarding
+ * cost at the intermediate PU (CPU-intercepted path, §5 Limitations).
+ */
+struct Route
+{
+    std::vector<Link *> hops;
+    /** Software forwarding cost charged per intermediate PU. */
+    sim::SimTime forwardCost;
+
+    bool direct() const { return hops.size() <= 1; }
+};
+
+/**
+ * All-pairs connectivity of one heterogeneous computer.
+ *
+ * Routes are registered explicitly by the computer builder; lookups for
+ * an unregistered pair are a configuration error (fatal).
+ */
+class Topology
+{
+  public:
+    explicit Topology(sim::Simulation &sim) : sim_(sim) {}
+
+    /** Create and own a link; returns a stable pointer. */
+    Link *makeLink(LinkParams params);
+
+    /** Register the route from PU @p a to PU @p b (directional). */
+    void addRoute(int a, int b, Route route);
+
+    /** Register symmetric single-link routes in both directions. */
+    void addBidirectional(int a, int b, Link *link);
+
+    /** Look up the route a -> b. */
+    const Route &route(int a, int b) const;
+
+    bool hasRoute(int a, int b) const;
+
+    /**
+     * Move @p bytes from PU @p a to PU @p b across every hop of the
+     * route, charging forwarding costs at intermediate PUs.
+     */
+    sim::Task<> transfer(int a, int b, std::uint64_t bytes);
+
+    /** Closed-form latency of the a -> b route (no contention). */
+    sim::SimTime transferLatency(int a, int b, std::uint64_t bytes) const;
+
+  private:
+    sim::Simulation &sim_;
+    std::vector<std::unique_ptr<Link>> links_;
+    std::map<std::pair<int, int>, Route> routes_;
+};
+
+} // namespace molecule::hw
+
+#endif // MOLECULE_HW_INTERCONNECT_HH

@@ -1,0 +1,83 @@
+#include "os/container.hh"
+
+#include "hw/calibration.hh"
+#include "os/kernel.hh"
+#include "sim/logging.hh"
+
+namespace molecule::os {
+
+namespace calib = hw::calib;
+
+ContainerManager::ContainerManager(LocalOs &os)
+    : os_(os), cpusetLock_(os.simulation(), 1)
+{}
+
+sim::Task<Container *>
+ContainerManager::create(const std::string &id)
+{
+    std::string owned_id = id;
+    co_await os_.swDelay(calib::kContainerStartCost);
+    auto c = std::make_unique<Container>(std::move(owned_id), nextSeq_++);
+    c->state_ = ContainerState::Running;
+    Container *raw = c.get();
+    containers_.push_back(std::move(c));
+    co_return raw;
+}
+
+sim::Task<>
+ContainerManager::cpusetAttach()
+{
+    // The cpuset update runs under the kernel's global lock; the lock
+    // *hold* time is what differs between the stock semaphore path and
+    // the paper's mutex patch (Fig 11-a "Cpuset opt"), and holding it
+    // long is also what makes concurrent startups convoy.
+    co_await cpusetLock_.acquire();
+    sim::SemGuard g(cpusetLock_);
+    const auto hold = cpusetMode_ == CpusetMode::StockSemaphore
+                          ? calib::kCpusetAttachSemaphore
+                          : calib::kCpusetAttachMutex;
+    co_await os_.swDelay(hold);
+}
+
+sim::Task<>
+ContainerManager::attach(Container &container, Process &proc)
+{
+    MOLECULE_ASSERT(container.state_ == ContainerState::Running,
+                    "attach to non-running container '%s'",
+                    container.id().c_str());
+    co_await os_.swDelay(calib::kNamespaceReconfigCost);
+    co_await cpusetAttach();
+    container.procs_.push_back(&proc);
+}
+
+sim::Task<>
+ContainerManager::attachCgroupOnly(Container &container, Process &proc)
+{
+    co_await cpusetAttach();
+    container.procs_.push_back(&proc);
+}
+
+sim::Task<>
+ContainerManager::destroy(Container &container)
+{
+    co_await os_.swDelay(calib::kContainerDeleteCost);
+    container.state_ = ContainerState::Stopped;
+    container.procs_.clear();
+    for (auto it = containers_.begin(); it != containers_.end(); ++it) {
+        if (it->get() == &container) {
+            containers_.erase(it);
+            break;
+        }
+    }
+}
+
+Container *
+ContainerManager::find(const std::string &id)
+{
+    for (auto &c : containers_)
+        if (c->id() == id)
+            return c.get();
+    return nullptr;
+}
+
+} // namespace molecule::os

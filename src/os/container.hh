@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Containers: namespaces + cgroups, with the cpuset contention model.
+ *
+ * cfork's ablation (Fig 11-a) isolates three container costs:
+ *  - starting a fresh container (mounts, pivot_root, hooks);
+ *  - reconfiguring a forked child's namespaces into the container;
+ *  - attaching the child to the container's cpuset cgroup. The stock
+ *    kernel serializes cpuset updates behind a long-held semaphore;
+ *    the paper's patch replaces it with a mutex ("Cpuset opt"). Both
+ *    are modelled with a real lock so concurrent startups contend.
+ */
+
+#ifndef MOLECULE_OS_CONTAINER_HH
+#define MOLECULE_OS_CONTAINER_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/process.hh"
+#include "sim/sync.hh"
+
+namespace molecule::os {
+
+class LocalOs;
+
+/** Which cpuset locking discipline the kernel uses (§6.4). */
+enum class CpusetMode { StockSemaphore, MutexPatch };
+
+/** Lifecycle state of a container. */
+enum class ContainerState { Created, Running, Stopped };
+
+/**
+ * One container: identity plus the processes settled inside it.
+ * Construction is only via ContainerManager.
+ */
+class Container
+{
+  public:
+    Container(std::string id, std::uint64_t seq)
+        : id_(std::move(id)), seq_(seq)
+    {}
+
+    const std::string &id() const { return id_; }
+
+    ContainerState state() const { return state_; }
+
+    const std::vector<Process *> &processes() const { return procs_; }
+
+  private:
+    friend class ContainerManager;
+
+    std::string id_;
+    std::uint64_t seq_;
+    ContainerState state_ = ContainerState::Created;
+    std::vector<Process *> procs_;
+};
+
+/**
+ * Per-OS container runtime state: creation, process attach (namespace
+ * reconfig + cpuset attach under the kernel lock), destruction.
+ */
+class ContainerManager
+{
+  public:
+    explicit ContainerManager(LocalOs &os);
+
+    /** Kernel configuration knob (the Fig 11-a "Cpuset opt" patch). */
+    void setCpusetMode(CpusetMode mode) { cpusetMode_ = mode; }
+
+    CpusetMode cpusetMode() const { return cpusetMode_; }
+
+    /** Start a fresh container (full runc create+start path). */
+    sim::Task<Container *> create(const std::string &id);
+
+    /**
+     * Attach @p proc to @p container: namespace reconfiguration plus
+     * cpuset cgroup attach under the kernel's cpuset lock.
+     */
+    sim::Task<> attach(Container &container, Process &proc);
+
+    /** Attach with only the cgroup step (already in the right ns). */
+    sim::Task<> attachCgroupOnly(Container &container, Process &proc);
+
+    /** Tear a container down. */
+    sim::Task<> destroy(Container &container);
+
+    std::size_t containerCount() const { return containers_.size(); }
+
+    Container *find(const std::string &id);
+
+  private:
+    sim::Task<> cpusetAttach();
+
+    LocalOs &os_;
+    CpusetMode cpusetMode_ = CpusetMode::StockSemaphore;
+    /** The kernel's global cpuset update lock. */
+    sim::Semaphore cpusetLock_;
+    std::vector<std::unique_ptr<Container>> containers_;
+    std::uint64_t nextSeq_ = 0;
+};
+
+} // namespace molecule::os
+
+#endif // MOLECULE_OS_CONTAINER_HH

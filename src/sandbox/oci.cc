@@ -1,0 +1,110 @@
+#include "sandbox/oci.hh"
+
+namespace molecule::sandbox {
+
+const char *
+toString(Language lang)
+{
+    switch (lang) {
+      case Language::Python:
+        return "python";
+      case Language::Node:
+        return "node";
+      case Language::FpgaOpenCl:
+        return "fpga-opencl";
+      case Language::CudaCpp:
+        return "cuda-c++";
+    }
+    return "?";
+}
+
+sim::SimTime
+runtimeColdStart(Language lang)
+{
+    namespace calib = hw::calib;
+    switch (lang) {
+      case Language::Python:
+        return calib::kPythonColdStart;
+      case Language::Node:
+        return calib::kNodeColdStart;
+      case Language::FpgaOpenCl:
+      case Language::CudaCpp:
+        return sim::SimTime(0); // accelerated paths cost elsewhere
+    }
+    return sim::SimTime(0);
+}
+
+const char *
+toString(SandboxState s)
+{
+    switch (s) {
+      case SandboxState::Unknown:
+        return "unknown";
+      case SandboxState::Creating:
+        return "creating";
+      case SandboxState::Created:
+        return "created";
+      case SandboxState::Running:
+        return "running";
+      case SandboxState::Stopped:
+        return "stopped";
+    }
+    return "?";
+}
+
+std::vector<SandboxState>
+VectorizedSandboxRuntime::stateVector(const std::vector<std::string> &ids)
+{
+    std::vector<SandboxState> out;
+    out.reserve(ids.size());
+    for (const auto &id : ids)
+        out.push_back(state(id));
+    return out;
+}
+
+sim::Task<int>
+VectorizedSandboxRuntime::createVector(
+    const std::vector<CreateRequest> &reqs)
+{
+    // Default: one-sized-vector loop (how runc implements Table 3,
+    // §5). Accelerator runtimes override with real batching.
+    std::vector<CreateRequest> owned = reqs;
+    int ok = 0;
+    for (const auto &req : owned) {
+        const bool created = co_await create(req);
+        ok += created ? 1 : 0;
+    }
+    co_return ok;
+}
+
+sim::Task<int>
+VectorizedSandboxRuntime::startVector(const std::vector<std::string> &ids)
+{
+    std::vector<std::string> owned = ids;
+    int ok = 0;
+    for (const auto &id : owned) {
+        const bool started = co_await start(id);
+        ok += started ? 1 : 0;
+    }
+    co_return ok;
+}
+
+sim::Task<>
+VectorizedSandboxRuntime::killVector(const std::vector<std::string> &ids,
+                                     int signal)
+{
+    std::vector<std::string> owned = ids;
+    for (const auto &id : owned)
+        co_await kill(id, signal);
+}
+
+sim::Task<>
+VectorizedSandboxRuntime::destroyVector(
+    const std::vector<std::string> &ids)
+{
+    std::vector<std::string> owned = ids;
+    for (const auto &id : owned)
+        co_await destroy(id);
+}
+
+} // namespace molecule::sandbox

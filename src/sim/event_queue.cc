@@ -1,0 +1,58 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace molecule::sim {
+
+EventId
+EventQueue::schedule(SimTime when, std::function<void()> fn)
+{
+    EventId id = nextId_++;
+    heap_.push(Entry{when, nextSeq_++, id, std::move(fn)});
+    live_.insert(id);
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    // Only events that are still pending may be cancelled; ids of fired
+    // or already-cancelled events are rejected so liveCount stays exact.
+    if (live_.erase(id) == 0)
+        return false;
+    cancelled_.insert(id);
+    return true;
+}
+
+void
+EventQueue::skipCancelled() const
+{
+    while (!heap_.empty()) {
+        auto found = cancelled_.find(heap_.top().id);
+        if (found == cancelled_.end())
+            break;
+        cancelled_.erase(found);
+        heap_.pop();
+    }
+}
+
+SimTime
+EventQueue::nextTime() const
+{
+    skipCancelled();
+    MOLECULE_ASSERT(!heap_.empty(), "nextTime() on empty event queue");
+    return heap_.top().when;
+}
+
+std::pair<SimTime, std::function<void()>>
+EventQueue::popNext()
+{
+    skipCancelled();
+    MOLECULE_ASSERT(!heap_.empty(), "popNext() on empty event queue");
+    Entry entry = std::move(const_cast<Entry &>(heap_.top()));
+    heap_.pop();
+    live_.erase(entry.id);
+    return {entry.when, std::move(entry.fn)};
+}
+
+} // namespace molecule::sim

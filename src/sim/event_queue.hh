@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic pending-event set for the discrete-event kernel.
+ *
+ * Events scheduled for the same timestamp fire in scheduling order
+ * (FIFO), which makes every simulation run bit-reproducible for a given
+ * seed regardless of container iteration quirks.
+ */
+
+#ifndef MOLECULE_SIM_EVENT_QUEUE_HH
+#define MOLECULE_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace molecule::sim {
+
+/** Handle identifying a scheduled event, usable for cancellation. */
+using EventId = std::uint64_t;
+
+/**
+ * Min-heap of (time, sequence) ordered events.
+ *
+ * Cancellation uses tombstones: cancel() marks the id and the event is
+ * dropped when it reaches the head. This keeps schedule/cancel O(log n)
+ * without an indexed heap.
+ */
+class EventQueue
+{
+  public:
+    /** Schedule @p fn at absolute time @p when; returns a cancel id. */
+    EventId schedule(SimTime when, std::function<void()> fn);
+
+    /**
+     * Cancel a previously scheduled event.
+     * @retval true the event had not fired and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** True when no live (non-cancelled) events remain. */
+    bool empty() const { return live_.empty(); }
+
+    std::size_t size() const { return live_.size(); }
+
+    /** Timestamp of the next live event. Queue must not be empty. */
+    SimTime nextTime() const;
+
+    /**
+     * Pop the next live event without running it, so the driver can
+     * advance the clock to the event's timestamp before executing the
+     * callback (coroutines resumed by the callback must observe the
+     * new time).
+     */
+    std::pair<SimTime, std::function<void()>> popNext();
+
+  private:
+    struct Entry {
+        SimTime when;
+        std::uint64_t seq;
+        EventId id;
+        std::function<void()> fn;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Drop cancelled entries from the head. */
+    void skipCancelled() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    mutable std::unordered_set<EventId> cancelled_;
+    std::unordered_set<EventId> live_;
+    std::uint64_t nextSeq_ = 0;
+    EventId nextId_ = 1;
+};
+
+} // namespace molecule::sim
+
+#endif // MOLECULE_SIM_EVENT_QUEUE_HH

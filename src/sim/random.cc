@@ -1,0 +1,126 @@
+#include "sim/random.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace molecule::sim {
+
+namespace {
+
+std::uint64_t
+splitmix64(std::uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed)
+{
+    std::uint64_t x = seed;
+    for (auto &s : s_)
+        s = splitmix64(x);
+}
+
+std::uint64_t
+Rng::next()
+{
+    const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return double(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform();
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    MOLECULE_ASSERT(lo <= hi, "uniformInt: lo > hi");
+    const std::uint64_t span = std::uint64_t(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return std::int64_t(next());
+    // Rejection sampling removes modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
+    std::uint64_t v;
+    do {
+        v = next();
+    } while (v >= limit);
+    return lo + std::int64_t(v % span);
+}
+
+double
+Rng::normal()
+{
+    if (hasSpare_) {
+        hasSpare_ = false;
+        return spareNormal_;
+    }
+    double u1, u2;
+    do {
+        u1 = uniform();
+    } while (u1 <= 1e-300);
+    u2 = uniform();
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    spareNormal_ = mag * std::sin(2.0 * M_PI * u2);
+    hasSpare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    return mean + stddev * normal();
+}
+
+double
+Rng::exponential(double mean)
+{
+    double u;
+    do {
+        u = uniform();
+    } while (u <= 1e-300);
+    return -mean * std::log(u);
+}
+
+double
+Rng::jitter(double rel)
+{
+    if (rel <= 0.0)
+        return 1.0;
+    const double f = normal(1.0, rel);
+    // Clamp at 3 sigma-ish to keep tails physical (latency can't go
+    // negative, and pathological outliers would swamp percentiles).
+    const double lo = std::max(0.01, 1.0 - 3.0 * rel);
+    const double hi = 1.0 + 3.0 * rel;
+    return std::min(hi, std::max(lo, f));
+}
+
+} // namespace molecule::sim

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Deterministic random-number generation for cost-model jitter.
+ *
+ * We implement xoshiro256++ seeded via splitmix64 rather than relying on
+ * libstdc++ distributions, so simulation results are bit-identical across
+ * standard-library versions.
+ */
+
+#ifndef MOLECULE_SIM_RANDOM_HH
+#define MOLECULE_SIM_RANDOM_HH
+
+#include <cstdint>
+
+namespace molecule::sim {
+
+/**
+ * xoshiro256++ generator with convenience distributions.
+ *
+ * All distributions are implemented from first principles (inverse
+ * transform, Box-Muller) for cross-platform reproducibility.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 42);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] (inclusive). */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Standard normal via Box-Muller (cached spare value). */
+    double normal();
+
+    /** Normal with the given mean and standard deviation. */
+    double normal(double mean, double stddev);
+
+    /** Exponential with the given mean (inter-arrival modelling). */
+    double exponential(double mean);
+
+    /**
+     * Multiplicative latency jitter: lognormal-ish factor centred on 1.0
+     * with relative spread @p rel (e.g. 0.05 for +/-5%), clamped positive.
+     * Cost models multiply base latencies by this to avoid artificial
+     * lock-step behaviour without disturbing means.
+     */
+    double jitter(double rel);
+
+  private:
+    std::uint64_t s_[4];
+    double spareNormal_ = 0.0;
+    bool hasSpare_ = false;
+};
+
+} // namespace molecule::sim
+
+#endif // MOLECULE_SIM_RANDOM_HH

@@ -1,0 +1,36 @@
+#include "sim/simulation.hh"
+
+namespace molecule::sim {
+
+SimTime
+Simulation::run()
+{
+    while (step()) {
+    }
+    return now_;
+}
+
+SimTime
+Simulation::runUntil(SimTime deadline)
+{
+    while (!events_.empty() && events_.nextTime() <= deadline)
+        step();
+    if (now_ < deadline)
+        now_ = deadline;
+    return now_;
+}
+
+bool
+Simulation::step()
+{
+    if (events_.empty())
+        return false;
+    auto [when, fn] = events_.popNext();
+    // Advance the clock *before* running the callback so resumed
+    // coroutines observe the firing time.
+    now_ = when;
+    fn();
+    return true;
+}
+
+} // namespace molecule::sim

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * The discrete-event simulation driver.
+ *
+ * A Simulation owns the virtual clock and the pending-event set, spawns
+ * root coroutine tasks and provides the fundamental awaitable (delay).
+ * All coroutine resumptions are funnelled through the event queue so
+ * same-instant wakeups fire in a deterministic order.
+ */
+
+#ifndef MOLECULE_SIM_SIMULATION_HH
+#define MOLECULE_SIM_SIMULATION_HH
+
+#include <coroutine>
+#include <functional>
+
+#include "sim/event_queue.hh"
+#include "sim/random.hh"
+#include "sim/task.hh"
+#include "sim/time.hh"
+
+namespace molecule::sim {
+
+/**
+ * Virtual-time executor for coroutine tasks.
+ *
+ * Typical use:
+ * @code
+ *   Simulation sim;
+ *   sim.spawn(clientLoop(sim, ...));
+ *   sim.run();                       // until no events remain
+ * @endcode
+ */
+class Simulation
+{
+  public:
+    /** @param seed seeds the simulation-owned RNG (determinism knob). */
+    explicit Simulation(std::uint64_t seed = 42) : rng_(seed) {}
+
+    Simulation(const Simulation &) = delete;
+    Simulation &operator=(const Simulation &) = delete;
+
+    /** Current simulated time. */
+    SimTime now() const { return now_; }
+
+    /** The simulation-owned deterministic RNG. */
+    Rng &rng() { return rng_; }
+
+    /** Schedule a callback @p after from now; returns a cancel id. */
+    EventId
+    schedule(SimTime after, std::function<void()> fn)
+    {
+        return events_.schedule(now_ + after, std::move(fn));
+    }
+
+    /** Cancel an event scheduled via schedule(). */
+    bool cancel(EventId id) { return events_.cancel(id); }
+
+    /** Start a root task; its frame self-destroys when it completes. */
+    void
+    spawn(Task<> task)
+    {
+        task.detachAndStart();
+    }
+
+    /** Awaitable that suspends the caller for @p amount of sim time. */
+    auto
+    delay(SimTime amount)
+    {
+        struct Awaiter
+        {
+            Simulation *sim;
+            SimTime amount;
+
+            bool await_ready() const noexcept { return false; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                sim->schedule(amount, [h] { h.resume(); });
+            }
+
+            void await_resume() const noexcept {}
+        };
+        MOLECULE_ASSERT(amount >= SimTime(0),
+                        "negative delay %lld ns",
+                        static_cast<long long>(amount.raw()));
+        return Awaiter{this, amount};
+    }
+
+    /** Resume @p h at the current instant, ordered behind pending work. */
+    void
+    scheduleResume(std::coroutine_handle<> h)
+    {
+        schedule(SimTime(0), [h] { h.resume(); });
+    }
+
+    /** Run until the event set drains. @return final simulated time. */
+    SimTime run();
+
+    /** Run until the clock would pass @p deadline (absolute). */
+    SimTime runUntil(SimTime deadline);
+
+    /** Fire exactly one event if present. @retval false queue was empty. */
+    bool step();
+
+    /** Number of pending events (diagnostics). */
+    std::size_t pendingEvents() const { return events_.size(); }
+
+  private:
+    EventQueue events_;
+    SimTime now_{0};
+    Rng rng_;
+};
+
+} // namespace molecule::sim
+
+#endif // MOLECULE_SIM_SIMULATION_HH

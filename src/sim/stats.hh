@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Measurement collection: counters, summaries and sample histograms.
+ *
+ * Experiments record per-invocation latencies into Histogram objects and
+ * report percentiles like the paper's harness (avg/50/75/90/95/99).
+ */
+
+#ifndef MOLECULE_SIM_STATS_HH
+#define MOLECULE_SIM_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace molecule::sim {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::int64_t by = 1) { value_ += by; }
+
+    std::int64_t value() const { return value_; }
+
+    void reset() { value_ = 0; }
+
+  private:
+    std::int64_t value_ = 0;
+};
+
+/**
+ * Exact-sample distribution.
+ *
+ * Stores every sample (experiments are small: 10^2..10^5 samples) so
+ * percentiles are exact rather than bucketed.
+ */
+class Histogram
+{
+  public:
+    void add(double v);
+
+    /** Convenience for latency samples. */
+    void addTime(SimTime t) { add(t.toMicroseconds()); }
+
+    std::size_t count() const { return samples_.size(); }
+
+    double mean() const;
+    double min() const;
+    double max() const;
+    double stddev() const;
+
+    /** Exact percentile via nearest-rank; @p p in [0, 100]. */
+    double percentile(double p) const;
+
+    void clear();
+
+    const std::vector<double> &samples() const { return samples_; }
+
+    /** "avg p50 p75 p90 p95 p99" line used by bench output. */
+    std::string summaryLine() const;
+
+  private:
+    /** Sort lazily: adds are hot, queries are rare. */
+    void ensureSorted() const;
+
+    mutable std::vector<double> samples_;
+    mutable bool sorted_ = true;
+    double sum_ = 0.0;
+    double sumSq_ = 0.0;
+};
+
+/**
+ * Named registry so modules can publish stats without coupling to the
+ * experiment harness.
+ */
+class StatRegistry
+{
+  public:
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    Histogram &histogram(const std::string &name) { return hists_[name]; }
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return hists_;
+    }
+
+    void clear();
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Histogram> hists_;
+};
+
+} // namespace molecule::sim
+
+#endif // MOLECULE_SIM_STATS_HH

@@ -1,0 +1,363 @@
+/**
+ * @file
+ * Coroutine synchronization primitives for simulated processes.
+ *
+ * SimEvent   - one-shot broadcast (trigger wakes all current waiters);
+ * Semaphore  - counted resource (PU cores, FPGA regions);
+ * Mailbox<T> - FIFO message queue with blocking receive and optional
+ *              bounded capacity with blocking send (models FIFOs/queues).
+ *
+ * All wakeups are routed through the Simulation event queue at the
+ * current instant, preserving deterministic ordering.
+ */
+
+#ifndef MOLECULE_SIM_SYNC_HH
+#define MOLECULE_SIM_SYNC_HH
+
+#include <coroutine>
+#include <deque>
+#include <limits>
+#include <vector>
+
+#include "sim/logging.hh"
+#include "sim/simulation.hh"
+
+namespace molecule::sim {
+
+/**
+ * One-shot broadcast event.
+ *
+ * wait() suspends until trigger() is called; waiters arriving after the
+ * trigger resume immediately. reset() re-arms the event.
+ */
+class SimEvent
+{
+  public:
+    explicit SimEvent(Simulation &sim) : sim_(sim) {}
+
+    SimEvent(const SimEvent &) = delete;
+    SimEvent &operator=(const SimEvent &) = delete;
+
+    bool triggered() const { return triggered_; }
+
+    /** Wake every waiter (in arrival order) at the current instant. */
+    void
+    trigger()
+    {
+        if (triggered_)
+            return;
+        triggered_ = true;
+        for (auto h : waiters_)
+            sim_.scheduleResume(h);
+        waiters_.clear();
+    }
+
+    /** Re-arm a triggered event. Must not be called with waiters. */
+    void
+    reset()
+    {
+        MOLECULE_ASSERT(waiters_.empty(), "reset() with pending waiters");
+        triggered_ = false;
+    }
+
+    auto
+    wait()
+    {
+        struct Awaiter
+        {
+            SimEvent *event;
+
+            bool await_ready() const noexcept { return event->triggered_; }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                event->waiters_.push_back(h);
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{this};
+    }
+
+  private:
+    Simulation &sim_;
+    bool triggered_ = false;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/**
+ * Counting semaphore; acquire order is FIFO.
+ *
+ * Used for core occupancy (a PU with N cores is a Semaphore(N) and a
+ * compute burst is acquire/delay/release) and any other contended
+ * hardware resource.
+ */
+class Semaphore
+{
+  public:
+    Semaphore(Simulation &sim, std::size_t initial)
+        : sim_(sim), count_(initial)
+    {}
+
+    Semaphore(const Semaphore &) = delete;
+    Semaphore &operator=(const Semaphore &) = delete;
+
+    std::size_t available() const { return count_; }
+
+    std::size_t waiting() const { return waiters_.size(); }
+
+    auto
+    acquire()
+    {
+        struct Awaiter
+        {
+            Semaphore *sem;
+
+            bool
+            await_ready() noexcept
+            {
+                // Respect FIFO fairness: arrive behind existing waiters.
+                if (sem->waiters_.empty() && sem->count_ > 0) {
+                    --sem->count_;
+                    return true;
+                }
+                return false;
+            }
+
+            void
+            await_suspend(std::coroutine_handle<> h)
+            {
+                sem->waiters_.push_back(h);
+            }
+
+            void await_resume() const noexcept {}
+        };
+        return Awaiter{this};
+    }
+
+    void
+    release()
+    {
+        // Hand the unit directly to the oldest waiter (if any) so a
+        // late-arriving acquire cannot steal it between wakeup and
+        // resumption; otherwise return it to the pool.
+        if (!waiters_.empty()) {
+            auto h = waiters_.front();
+            waiters_.pop_front();
+            sim_.scheduleResume(h);
+        } else {
+            ++count_;
+        }
+    }
+
+  private:
+    Simulation &sim_;
+    std::size_t count_;
+    std::deque<std::coroutine_handle<>> waiters_;
+};
+
+/**
+ * RAII guard running acquire/release around a scope.
+ * Usage: `co_await sem.acquire(); SemGuard g(sem);`
+ */
+class SemGuard
+{
+  public:
+    explicit SemGuard(Semaphore &sem) : sem_(&sem) {}
+
+    SemGuard(const SemGuard &) = delete;
+    SemGuard &operator=(const SemGuard &) = delete;
+
+    ~SemGuard()
+    {
+        if (sem_)
+            sem_->release();
+    }
+
+  private:
+    Semaphore *sem_;
+};
+
+/**
+ * FIFO message queue between simulated processes.
+ *
+ * get() blocks until a message is available; put() blocks while the
+ * queue is at capacity (default: unbounded). Message transport latency
+ * is not modelled here — callers add link/syscall costs explicitly so
+ * the cost model stays visible at the protocol layer.
+ */
+template <typename T>
+class Mailbox
+{
+  public:
+    explicit Mailbox(Simulation &sim,
+                     std::size_t capacity =
+                         std::numeric_limits<std::size_t>::max())
+        : sim_(sim), capacity_(capacity)
+    {}
+
+    Mailbox(const Mailbox &) = delete;
+    Mailbox &operator=(const Mailbox &) = delete;
+
+    std::size_t size() const { return items_.size(); }
+
+    bool empty() const { return items_.empty(); }
+
+    /** Non-blocking send. @retval false the queue was full. */
+    bool
+    tryPut(T item)
+    {
+        if (items_.size() >= capacity_)
+            return false;
+        enqueue(std::move(item));
+        return true;
+    }
+
+    /**
+     * Awaiter for a blocking send. Owns the item: when the queue is
+     * full the item is handed over at wake time by the consumer side
+     * (exact-capacity handover, no wakeup race). Non-coroutine by
+     * design — see the GCC 12 note in task.hh.
+     */
+    class PutAwaiter
+    {
+      public:
+        PutAwaiter(Mailbox *box, T item)
+            : box_(box), item_(std::move(item))
+        {}
+
+        bool
+        await_ready()
+        {
+            if (box_->items_.size() < box_->capacity_ &&
+                box_->putters_.empty()) {
+                box_->enqueue(std::move(item_));
+                return true;
+            }
+            return false;
+        }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            box_->putters_.push_back(PendingPut{h, this});
+        }
+
+        void await_resume() const noexcept {}
+
+      private:
+        friend class Mailbox;
+
+        Mailbox *box_;
+        T item_;
+    };
+
+    /** Blocking send: waits for space, then enqueues. */
+    PutAwaiter
+    put(T item)
+    {
+        return PutAwaiter(this, std::move(item));
+    }
+
+    /** Blocking receive: waits for a message, dequeues and returns it. */
+    Task<T>
+    get()
+    {
+        while (items_.empty()) {
+            ItemWait waiter{this};
+            co_await waiter;
+        }
+        T item = std::move(items_.front());
+        items_.pop_front();
+        drainOnePutter();
+        co_return item;
+    }
+
+  private:
+    struct PendingPut
+    {
+        std::coroutine_handle<> handle;
+        PutAwaiter *awaiter;
+    };
+
+    struct ItemWait
+    {
+        Mailbox *box;
+
+        bool await_ready() const noexcept { return !box->items_.empty(); }
+
+        void
+        await_suspend(std::coroutine_handle<> h)
+        {
+            box->getters_.push_back(h);
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    void
+    enqueue(T item)
+    {
+        items_.push_back(std::move(item));
+        if (!getters_.empty()) {
+            auto h = getters_.front();
+            getters_.pop_front();
+            sim_.scheduleResume(h);
+        }
+    }
+
+    /**
+     * A slot freed up: move the oldest blocked putter's item into the
+     * queue *now* (exact capacity, FIFO order) and wake it.
+     */
+    void
+    drainOnePutter()
+    {
+        if (!putters_.empty()) {
+            PendingPut p = putters_.front();
+            putters_.pop_front();
+            enqueue(std::move(p.awaiter->item_));
+            sim_.scheduleResume(p.handle);
+        }
+    }
+
+    Simulation &sim_;
+    std::size_t capacity_;
+    std::deque<T> items_;
+    std::deque<std::coroutine_handle<>> getters_;
+    std::deque<PendingPut> putters_;
+};
+
+namespace detail {
+
+/** Run one task and count down toward the join event. */
+inline Task<>
+runAndCount(Task<> task, int *remaining, SimEvent *done)
+{
+    co_await std::move(task);
+    if (--*remaining == 0)
+        done->trigger();
+}
+
+} // namespace detail
+
+/**
+ * Await the completion of every task in @p tasks (fork/join). Tasks
+ * run concurrently in simulated time.
+ */
+inline Task<>
+allOf(Simulation &sim, std::vector<Task<>> tasks)
+{
+    if (tasks.empty())
+        co_return;
+    int remaining = int(tasks.size());
+    SimEvent done(sim);
+    for (auto &t : tasks)
+        sim.spawn(detail::runAndCount(std::move(t), &remaining, &done));
+    co_await done.wait();
+}
+
+} // namespace molecule::sim
+
+#endif // MOLECULE_SIM_SYNC_HH

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * C++20 coroutine task type for simulated processes.
+ *
+ * Protocol code in Molecule (FIFO reads, executor command loops, shim
+ * synchronization round-trips) is written as coroutines that co_await
+ * awaitables provided by the kernel (Simulation::delay, SimEvent,
+ * Semaphore, Mailbox). A Task<T> is lazily started:
+ *
+ *  - `co_await someTask(...)` starts the child inline (same simulated
+ *    instant, via symmetric transfer) and resumes the parent when the
+ *    child finishes, yielding its value;
+ *  - `Simulation::spawn(std::move(task))` detaches a root task whose
+ *    frame self-destroys on completion.
+ *
+ * Exceptions propagate through co_await; an exception escaping a
+ * detached task is a simulator bug and panics.
+ *
+ * @warning GCC 12 miscompiles non-trivially-copyable *temporaries*
+ * inside co_await full-expressions (frame slots for such temporaries
+ * can be clobbered across suspension points, leading to double-frees
+ * and dangling strings). Library rules, enforced across this codebase:
+ *  1. Coroutines take non-trivial parameters by const reference and
+ *     copy them to a named local before the first suspension.
+ *  2. Call sites never build a non-trivial temporary inside a
+ *     co_await expression — materialize a named local first:
+ *       Msg m{...};  co_await fifo->write(m);       // OK
+ *       co_await fifo->write(Msg{...});             // MISCOMPILES
+ *  3. Trivially-copyable arguments (ids, ints, SimTime) are safe in
+ *     any form.
+ *  4. At -O2 the same compiler also drops continuations when co_await
+ *     appears inside a larger expression (an if/while condition, ?:,
+ *     a cast, a compound assignment). co_await may appear ONLY as a
+ *     full expression-statement, the RHS of a simple assignment or
+ *     initialization, or directly after co_return:
+ *       auto v = co_await f();  if (v) ...   // OK
+ *       co_return co_await f();              // OK
+ *       if (co_await f()) ...                // MISCOMPILES at -O2
+ */
+
+#ifndef MOLECULE_SIM_TASK_HH
+#define MOLECULE_SIM_TASK_HH
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace molecule::sim {
+
+template <typename T>
+class Task;
+
+namespace detail {
+
+/** State shared by all task promises, independent of the result type. */
+struct PromiseBase
+{
+    /** Coroutine to resume when this task completes (the awaiter). */
+    std::coroutine_handle<> continuation{};
+    /** Detached tasks self-destroy at final suspend. */
+    bool detached = false;
+    std::exception_ptr exception{};
+
+    std::suspend_always
+    initial_suspend() noexcept
+    {
+        return {};
+    }
+
+    struct FinalAwaiter
+    {
+        bool detached;
+
+        /**
+         * Detached tasks do not suspend at the final point: control
+         * flows off the end of the coroutine and the implementation
+         * destroys the frame itself. This avoids the manual
+         * destroy-inside-await_suspend idiom.
+         */
+        bool await_ready() const noexcept { return detached; }
+
+        template <typename Promise>
+        std::coroutine_handle<>
+        await_suspend(std::coroutine_handle<Promise> h) noexcept
+        {
+            std::coroutine_handle<> cont = h.promise().continuation;
+            return cont ? cont : std::noop_coroutine();
+        }
+
+        void await_resume() const noexcept {}
+    };
+
+    FinalAwaiter
+    final_suspend() noexcept
+    {
+        if (detached && exception) {
+            // No awaiter exists to receive the exception.
+            panic("exception escaped a detached simulation task");
+        }
+        return {detached};
+    }
+
+    void unhandled_exception() { exception = std::current_exception(); }
+};
+
+template <typename T>
+struct Promise : PromiseBase
+{
+    std::optional<T> value;
+
+    Task<T> get_return_object();
+
+    void
+    return_value(T v)
+    {
+        value.emplace(std::move(v));
+    }
+};
+
+template <>
+struct Promise<void> : PromiseBase
+{
+    Task<void> get_return_object();
+
+    void return_void() {}
+};
+
+} // namespace detail
+
+/**
+ * A lazily-started coroutine producing a T in simulated time.
+ *
+ * Move-only. Destroying an unstarted or completed (non-detached) Task
+ * destroys the coroutine frame.
+ */
+template <typename T = void>
+class [[nodiscard]] Task
+{
+  public:
+    using promise_type = detail::Promise<T>;
+    using handle_type = std::coroutine_handle<promise_type>;
+
+    Task() = default;
+    explicit Task(handle_type h) : handle_(h) {}
+
+    Task(Task &&other) noexcept
+        : handle_(std::exchange(other.handle_, nullptr))
+    {}
+
+    Task &
+    operator=(Task &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            handle_ = std::exchange(other.handle_, nullptr);
+        }
+        return *this;
+    }
+
+    Task(const Task &) = delete;
+    Task &operator=(const Task &) = delete;
+
+    ~Task() { destroy(); }
+
+    bool valid() const { return handle_ != nullptr; }
+
+    bool done() const { return handle_ && handle_.done(); }
+
+    /**
+     * Release ownership, mark detached and start execution.
+     * Used by Simulation::spawn; the frame self-destroys on completion.
+     */
+    void
+    detachAndStart()
+    {
+        MOLECULE_ASSERT(handle_, "detaching an empty task");
+        handle_type h = std::exchange(handle_, nullptr);
+        h.promise().detached = true;
+        h.resume();
+    }
+
+    /** Awaiter: start the child inline, resume parent on completion. */
+    auto
+    operator co_await() &&
+    {
+        struct Awaiter
+        {
+            handle_type handle;
+
+            bool await_ready() const noexcept { return false; }
+
+            std::coroutine_handle<>
+            await_suspend(std::coroutine_handle<> cont) noexcept
+            {
+                handle.promise().continuation = cont;
+                return handle; // symmetric transfer: run child now
+            }
+
+            T
+            await_resume()
+            {
+                auto &p = handle.promise();
+                if (p.exception)
+                    std::rethrow_exception(p.exception);
+                if constexpr (!std::is_void_v<T>) {
+                    MOLECULE_ASSERT(p.value.has_value(),
+                                    "task finished without a value");
+                    return std::move(*p.value);
+                }
+            }
+        };
+        MOLECULE_ASSERT(handle_, "awaiting an empty task");
+        return Awaiter{handle_};
+    }
+
+  private:
+    void
+    destroy()
+    {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = nullptr;
+        }
+    }
+
+    handle_type handle_{};
+};
+
+namespace detail {
+
+template <typename T>
+Task<T>
+Promise<T>::get_return_object()
+{
+    return Task<T>(std::coroutine_handle<Promise<T>>::from_promise(*this));
+}
+
+inline Task<void>
+Promise<void>::get_return_object()
+{
+    return Task<void>(
+        std::coroutine_handle<Promise<void>>::from_promise(*this));
+}
+
+} // namespace detail
+
+} // namespace molecule::sim
+
+#endif // MOLECULE_SIM_TASK_HH

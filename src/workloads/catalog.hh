@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The paper's benchmark workloads, calibrated.
+ *
+ * FunctionBench (Kim & Lee) and ServerlessBench (Yu et al.) CPU/DPU
+ * functions plus the three FPGA applications ported from AWS/Xilinx
+ * demos (GZip, Anti-MoneyL, matrix ops). Each CPU workload carries a
+ * warm execution cost (host-reference), a cold-execution factor
+ * (I/O-heavy functions run slower on their first invocation) and
+ * per-function import/load costs — all solved from the Fig 14-a/b
+ * labels (see the derivation table in EXPERIMENTS.md).
+ *
+ * The catalog owns the FunctionImage objects so pointers stay stable
+ * for the lifetime of an experiment.
+ */
+
+#ifndef MOLECULE_WORKLOADS_CATALOG_HH
+#define MOLECULE_WORKLOADS_CATALOG_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sandbox/function_image.hh"
+
+namespace molecule::workloads {
+
+/** A CPU/DPU function: deployable image + execution model. */
+struct CpuWorkload
+{
+    sandbox::FunctionImage image;
+    /** Warm-instance execution cost (host reference). */
+    sim::SimTime execCost;
+    /** First-execution multiplier (cold page cache / JIT warmup). */
+    double coldExecFactor = 1.0;
+    /** Typical message size when chained (bytes). */
+    std::uint64_t msgBytes = 1024;
+};
+
+/**
+ * An FPGA-accelerated application: kernel-time model over a size
+ * parameter (bytes or entries) plus its CPU comparator.
+ */
+struct FpgaWorkload
+{
+    sandbox::FunctionImage image;
+
+    /** Kernel time = fixed + perUnit * units. */
+    sim::SimTime kernelFixed;
+    double kernelNsPerUnit = 0.0;
+
+    /** CPU comparator = fixed + perUnit * units (host reference). */
+    sim::SimTime cpuFixed;
+    double cpuNsPerUnit = 0.0;
+
+    /** DMA input/output bytes per unit (0: data staged in DRAM). */
+    double dmaInBytesPerUnit = 0.0;
+    double dmaOutBytesPerUnit = 0.0;
+
+    sim::SimTime
+    kernelTime(std::uint64_t units) const
+    {
+        return kernelFixed +
+               sim::SimTime(std::int64_t(kernelNsPerUnit *
+                                         double(units)));
+    }
+
+    sim::SimTime
+    cpuTime(std::uint64_t units) const
+    {
+        return cpuFixed +
+               sim::SimTime(std::int64_t(cpuNsPerUnit * double(units)));
+    }
+
+    std::uint64_t
+    dmaInBytes(std::uint64_t units) const
+    {
+        return std::uint64_t(dmaInBytesPerUnit * double(units));
+    }
+
+    std::uint64_t
+    dmaOutBytes(std::uint64_t units) const
+    {
+        return std::uint64_t(dmaOutBytesPerUnit * double(units));
+    }
+};
+
+/**
+ * All workloads of the evaluation, keyed by name.
+ */
+class Catalog
+{
+  public:
+    Catalog();
+
+    Catalog(const Catalog &) = delete;
+    Catalog &operator=(const Catalog &) = delete;
+
+    const CpuWorkload &cpu(const std::string &name) const;
+
+    const FpgaWorkload &fpga(const std::string &name) const;
+
+    bool hasCpu(const std::string &name) const;
+
+    /** FunctionBench functions in the Fig 14 presentation order. */
+    static std::vector<std::string> functionBenchNames();
+
+    /** The Alexa skill chain (Node.js, 5 functions, Fig 12/14-e). */
+    static std::vector<std::string> alexaChain();
+
+    /** The MapReduce chain (Python, 3 functions, Fig 14-e). */
+    static std::vector<std::string> mapReduceChain();
+
+    /** Matrix kernels of Fig 2-b / Table 4 (mscale, madd, vmult). */
+    static std::vector<std::string> matrixKernels();
+
+  private:
+    void addCpu(CpuWorkload w);
+
+    void addFpga(FpgaWorkload w);
+
+    std::map<std::string, std::unique_ptr<CpuWorkload>> cpu_;
+    std::map<std::string, std::unique_ptr<FpgaWorkload>> fpga_;
+};
+
+} // namespace molecule::workloads
+
+#endif // MOLECULE_WORKLOADS_CATALOG_HH

@@ -1,0 +1,61 @@
+#include "workloads/loadgen.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace molecule::workloads {
+
+LoadGenerator::LoadGenerator(sim::Rng &rng,
+                             std::vector<std::string> functions,
+                             Options options)
+    : rng_(rng), functions_(std::move(functions)), options_(options)
+{
+    MOLECULE_ASSERT(!functions_.empty(), "load generator needs functions");
+    MOLECULE_ASSERT(options_.requestsPerSecond > 0,
+                    "arrival rate must be positive");
+    // Zipf CDF over ranks 1..N (rank order = registration order).
+    double total = 0;
+    cdf_.reserve(functions_.size());
+    for (std::size_t i = 0; i < functions_.size(); ++i) {
+        total += weight(i);
+        cdf_.push_back(total);
+    }
+    for (auto &v : cdf_)
+        v /= total;
+}
+
+double
+LoadGenerator::weight(std::size_t i) const
+{
+    return 1.0 / std::pow(double(i + 1), options_.zipfExponent);
+}
+
+std::size_t
+LoadGenerator::sampleFunction()
+{
+    const double u = rng_.uniform();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    if (it == cdf_.end())
+        --it;
+    return std::size_t(it - cdf_.begin());
+}
+
+std::vector<TraceEvent>
+LoadGenerator::generate()
+{
+    std::vector<TraceEvent> trace;
+    const double meanGapSeconds = 1.0 / options_.requestsPerSecond;
+    sim::SimTime at(0);
+    while (true) {
+        at += sim::SimTime::fromSeconds(
+            rng_.exponential(meanGapSeconds));
+        if (at > options_.duration)
+            break;
+        trace.push_back(TraceEvent{at, functions_[sampleFunction()]});
+    }
+    return trace;
+}
+
+} // namespace molecule::workloads

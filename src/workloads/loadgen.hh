@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Synthetic invocation-trace generator.
+ *
+ * Serverless production traces (Shahrad et al., "Serverless in the
+ * Wild") show Poisson-ish arrivals with heavily skewed function
+ * popularity. The generator produces such traces — Poisson arrivals,
+ * Zipf-distributed function choice — for the keep-alive ablation
+ * bench and load-oriented tests. Deterministic given the RNG seed.
+ */
+
+#ifndef MOLECULE_WORKLOADS_LOADGEN_HH
+#define MOLECULE_WORKLOADS_LOADGEN_HH
+
+#include <string>
+#include <vector>
+
+#include "sim/random.hh"
+#include "sim/time.hh"
+
+namespace molecule::workloads {
+
+/** One invocation request in a trace. */
+struct TraceEvent
+{
+    sim::SimTime at;
+    std::string fn;
+};
+
+/**
+ * Poisson/Zipf trace generator over a fixed function population.
+ */
+class LoadGenerator
+{
+  public:
+    struct Options
+    {
+        /** Mean arrival rate (Poisson). */
+        double requestsPerSecond = 50.0;
+        /** Zipf exponent for function popularity (0 = uniform). */
+        double zipfExponent = 1.1;
+        /** Trace length. */
+        sim::SimTime duration = sim::SimTime::seconds(60);
+    };
+
+    LoadGenerator(sim::Rng &rng, std::vector<std::string> functions,
+                  Options options);
+
+    /** Generate a sorted trace. */
+    std::vector<TraceEvent> generate();
+
+    /** Popularity weight of function index @p i (diagnostics). */
+    double weight(std::size_t i) const;
+
+  private:
+    /** Sample a function index from the Zipf CDF. */
+    std::size_t sampleFunction();
+
+    sim::Rng &rng_;
+    std::vector<std::string> functions_;
+    Options options_;
+    std::vector<double> cdf_;
+};
+
+} // namespace molecule::workloads
+
+#endif // MOLECULE_WORKLOADS_LOADGEN_HH

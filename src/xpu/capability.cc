@@ -1,0 +1,118 @@
+#include "xpu/capability.hh"
+
+namespace molecule::xpu {
+
+const char *
+toString(XpuStatus s)
+{
+    switch (s) {
+      case XpuStatus::Ok:
+        return "ok";
+      case XpuStatus::NoPermission:
+        return "no-permission";
+      case XpuStatus::NotFound:
+        return "not-found";
+      case XpuStatus::AlreadyExists:
+        return "already-exists";
+      case XpuStatus::InvalidArgument:
+        return "invalid-argument";
+      case XpuStatus::NoMemory:
+        return "no-memory";
+    }
+    return "?";
+}
+
+void
+CapGroup::add(ObjId obj, Perm perm)
+{
+    caps_[obj] = caps_.count(obj) ? (caps_[obj] | perm) : perm;
+}
+
+void
+CapGroup::remove(ObjId obj, Perm perm)
+{
+    auto it = caps_.find(obj);
+    if (it == caps_.end())
+        return;
+    it->second = it->second & ~perm;
+    if (it->second == Perm::None)
+        caps_.erase(it);
+}
+
+Perm
+CapGroup::lookup(ObjId obj) const
+{
+    auto it = caps_.find(obj);
+    return it == caps_.end() ? Perm::None : it->second;
+}
+
+ObjId
+CapabilityStore::allocateId()
+{
+    return (std::uint64_t(std::uint32_t(self_)) << 48) | nextLocal_++;
+}
+
+void
+CapabilityStore::registerObject(const DistributedObject &obj)
+{
+    objects_[obj.id] = obj;
+    if (!obj.uuid.empty())
+        byUuid_[obj.uuid] = obj.id;
+}
+
+void
+CapabilityStore::removeObject(ObjId id)
+{
+    auto it = objects_.find(id);
+    if (it == objects_.end())
+        return;
+    if (!it->second.uuid.empty())
+        byUuid_.erase(it->second.uuid);
+    objects_.erase(it);
+}
+
+void
+CapabilityStore::applyGrant(XpuPid pid, ObjId obj, Perm perm)
+{
+    auto [it, inserted] = groups_.try_emplace(pid.encode(), pid);
+    (void)inserted;
+    it->second.add(obj, perm);
+}
+
+void
+CapabilityStore::applyRevoke(XpuPid pid, ObjId obj, Perm perm)
+{
+    auto it = groups_.find(pid.encode());
+    if (it == groups_.end())
+        return;
+    it->second.remove(obj, perm);
+}
+
+const DistributedObject *
+CapabilityStore::findObject(ObjId id) const
+{
+    auto it = objects_.find(id);
+    return it == objects_.end() ? nullptr : &it->second;
+}
+
+const DistributedObject *
+CapabilityStore::findByUuid(const std::string &uuid) const
+{
+    auto it = byUuid_.find(uuid);
+    return it == byUuid_.end() ? nullptr : findObject(it->second);
+}
+
+bool
+CapabilityStore::check(XpuPid pid, ObjId obj, Perm need) const
+{
+    return hasPerm(lookup(pid, obj), need);
+}
+
+Perm
+CapabilityStore::lookup(XpuPid pid, ObjId obj) const
+{
+    auto it = groups_.find(pid.encode());
+    return it == groups_.end() ? Perm::None : it->second.lookup(obj);
+}
+
+} // namespace molecule::xpu

@@ -1,0 +1,154 @@
+#include "xpu/client.hh"
+
+#include "hw/calibration.hh"
+
+namespace molecule::xpu {
+
+namespace calib = hw::calib;
+
+XpuClient::XpuClient(XpuShim &shim, os::Process &proc)
+    : shim_(shim), self_{shim.puId(), proc.pid()}
+{}
+
+sim::Task<>
+XpuClient::enterCall(std::uint64_t argBytes)
+{
+    const auto cost =
+        shim_.transport().requestCost(shim_.localOs().pu(), argBytes);
+    co_await shim_.localOs().simulation().delay(cost);
+}
+
+sim::Task<>
+XpuClient::leaveCall(std::uint64_t resultBytes)
+{
+    const auto cost =
+        shim_.transport().responseCost(shim_.localOs().pu(), resultBytes);
+    co_await shim_.localOs().simulation().delay(cost);
+}
+
+sim::Task<>
+XpuClient::marshalBulk(std::uint64_t bytes)
+{
+    // memcpy into the per-process shared-memory argument area (§5);
+    // scales with the PU's core speed like other software costs.
+    const auto copy = sim::SimTime::nanoseconds(
+        std::int64_t(double(bytes) * calib::kFifoCopyNsPerByte));
+    co_await shim_.localOs().swDelay(copy);
+}
+
+sim::Task<XpuStatus>
+XpuClient::grantCap(XpuPid target, ObjId obj, Perm perm)
+{
+    co_await enterCall(32);
+    XpuStatus st = co_await shim_.grantCap(self_, target, obj, perm);
+    co_await leaveCall(8);
+    co_return st;
+}
+
+sim::Task<XpuStatus>
+XpuClient::revokeCap(XpuPid target, ObjId obj, Perm perm)
+{
+    co_await enterCall(32);
+    XpuStatus st = co_await shim_.revokeCap(self_, target, obj, perm);
+    co_await leaveCall(8);
+    co_return st;
+}
+
+sim::Task<FdResult>
+XpuClient::xfifoInit(const std::string &globalUuid)
+{
+    std::string uuid = globalUuid;
+    co_await enterCall(32 + uuid.size());
+    FifoInitResult r = co_await shim_.xfifoInit(self_, uuid);
+    co_await leaveCall(16);
+    if (r.status != XpuStatus::Ok)
+        co_return FdResult{r.status, -1};
+    const XpuFd fd = nextFd_++;
+    fds_[fd] = r.obj;
+    co_return FdResult{XpuStatus::Ok, fd};
+}
+
+sim::Task<FdResult>
+XpuClient::xfifoConnect(const std::string &globalUuid)
+{
+    std::string uuid = globalUuid;
+    co_await enterCall(32 + uuid.size());
+    FifoInitResult r = co_await shim_.xfifoConnect(self_, uuid);
+    co_await leaveCall(16);
+    if (r.status != XpuStatus::Ok)
+        co_return FdResult{r.status, -1};
+    const XpuFd fd = nextFd_++;
+    fds_[fd] = r.obj;
+    co_return FdResult{XpuStatus::Ok, fd};
+}
+
+sim::Task<XpuStatus>
+XpuClient::xfifoWrite(XpuFd fd, std::uint64_t bytes,
+                      const std::string &tag)
+{
+    std::string owned_tag = tag;
+    auto it = fds_.find(fd);
+    if (it == fds_.end())
+        co_return XpuStatus::InvalidArgument;
+    const ObjId obj = it->second;
+    co_await marshalBulk(bytes);
+    co_await enterCall(48);
+    XpuStatus st = co_await shim_.xfifoWrite(self_, obj, bytes,
+                                             owned_tag);
+    co_await leaveCall(8);
+    co_return st;
+}
+
+sim::Task<ReadResult>
+XpuClient::xfifoRead(XpuFd fd)
+{
+    auto it = fds_.find(fd);
+    if (it == fds_.end())
+        co_return ReadResult{XpuStatus::InvalidArgument, {}};
+    const ObjId obj = it->second;
+    co_await enterCall(16);
+    FifoReadResult r = co_await shim_.xfifoRead(self_, obj);
+    if (r.status != XpuStatus::Ok)
+        co_return ReadResult{r.status, {}};
+    // Unmarshal the payload out of the shared-memory result area.
+    co_await marshalBulk(r.msg.bytes);
+    co_await leaveCall(16);
+    co_return ReadResult{XpuStatus::Ok, std::move(r.msg)};
+}
+
+sim::Task<XpuStatus>
+XpuClient::xfifoClose(XpuFd fd)
+{
+    auto it = fds_.find(fd);
+    if (it == fds_.end())
+        co_return XpuStatus::InvalidArgument;
+    const ObjId obj = it->second;
+    fds_.erase(it);
+    co_await enterCall(16);
+    XpuStatus st = co_await shim_.xfifoClose(self_, obj);
+    co_await leaveCall(8);
+    co_return st;
+}
+
+sim::Task<SpawnCallResult>
+XpuClient::xspawn(PuId target, const std::string &path,
+                  const std::vector<CapGrant> &capv,
+                  std::uint64_t memBytes)
+{
+    std::string owned_path = path;
+    std::vector<CapGrant> owned_capv = capv;
+    co_await enterCall(64 + owned_path.size());
+    SpawnResult r = co_await shim_.xspawn(self_, target, owned_path,
+                                          owned_capv, memBytes);
+    co_await leaveCall(16);
+    co_return SpawnCallResult{r.status, r.pid};
+}
+
+ObjId
+XpuClient::objectOf(XpuFd fd) const
+{
+    auto it = fds_.find(fd);
+    return it == fds_.end() ? 0 : it->second;
+}
+
+} // namespace molecule::xpu

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The XPUcall client library (the "XPU-Shim library" of §5).
+ *
+ * XpuClient is linked into a process and exposes the Table 2 XPUcall
+ * surface. Each call charges the transport costs of crossing into the
+ * local shim and back (Figure 7), plus per-byte marshalling of bulk
+ * payloads into the per-process shared-memory argument area.
+ */
+
+#ifndef MOLECULE_XPU_CLIENT_HH
+#define MOLECULE_XPU_CLIENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "xpu/shim.hh"
+
+namespace molecule::xpu {
+
+/** fd-returning call result. */
+struct FdResult
+{
+    XpuStatus status = XpuStatus::Ok;
+    XpuFd fd = -1;
+};
+
+/** read-returning call result. */
+struct ReadResult
+{
+    XpuStatus status = XpuStatus::Ok;
+    os::FifoMessage msg;
+};
+
+/** xSpawn call result. */
+struct SpawnCallResult
+{
+    XpuStatus status = XpuStatus::Ok;
+    XpuPid pid;
+};
+
+/**
+ * Per-process handle to the local shim.
+ */
+class XpuClient
+{
+  public:
+    /** Attach the library to @p proc, using the shim of its PU. */
+    XpuClient(XpuShim &shim, os::Process &proc);
+
+    /** Table 2 get_xpupid: purely local, no XPUcall. */
+    XpuPid xpuPid() const { return self_; }
+
+    XpuShim &shim() { return shim_; }
+
+    /** @name Distributed capability calls */
+    ///@{
+    sim::Task<XpuStatus> grantCap(XpuPid target, ObjId obj, Perm perm);
+
+    sim::Task<XpuStatus> revokeCap(XpuPid target, ObjId obj, Perm perm);
+    ///@}
+
+    /** @name Neighbor IPC (XPU-FIFO) calls */
+    ///@{
+
+    /** Create an XPU-FIFO homed on this PU. */
+    sim::Task<FdResult> xfifoInit(const std::string &globalUuid);
+
+    sim::Task<FdResult> xfifoConnect(const std::string &globalUuid);
+
+    sim::Task<XpuStatus> xfifoWrite(XpuFd fd, std::uint64_t bytes,
+                                    const std::string &tag);
+
+    sim::Task<ReadResult> xfifoRead(XpuFd fd);
+
+    sim::Task<XpuStatus> xfifoClose(XpuFd fd);
+    ///@}
+
+    /** Table 2 xSpawn. */
+    sim::Task<SpawnCallResult> xspawn(PuId target,
+                                      const std::string &path,
+                                      const std::vector<CapGrant> &capv,
+                                      std::uint64_t memBytes =
+                                          XpuShimNetwork::kDefaultSpawnBytes);
+
+    /** Distributed object behind an fd (0 when unknown). */
+    ObjId objectOf(XpuFd fd) const;
+
+  private:
+    /** Charge the client->shim crossing for a small-argument call. */
+    sim::Task<> enterCall(std::uint64_t argBytes);
+
+    /** Charge the shim->client crossing. */
+    sim::Task<> leaveCall(std::uint64_t resultBytes);
+
+    /** Charge marshalling @p bytes through the shared-memory area. */
+    sim::Task<> marshalBulk(std::uint64_t bytes);
+
+    XpuShim &shim_;
+    XpuPid self_;
+    std::map<XpuFd, ObjId> fds_;
+    XpuFd nextFd_ = 3;
+};
+
+} // namespace molecule::xpu
+
+#endif // MOLECULE_XPU_CLIENT_HH

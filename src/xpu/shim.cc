@@ -1,0 +1,428 @@
+#include "xpu/shim.hh"
+
+#include "hw/calibration.hh"
+#include "sim/logging.hh"
+
+namespace molecule::xpu {
+
+namespace calib = hw::calib;
+
+XpuShim::XpuShim(XpuShimNetwork &net, os::LocalOs &os,
+                 TransportKind transport)
+    : net_(net), os_(os), transport_(transport), caps_(os.pu().id())
+{
+    handlerSlots_ =
+        std::make_unique<sim::Semaphore>(os.simulation(), 1);
+}
+
+void
+XpuShim::setHandlerThreads(int n)
+{
+    MOLECULE_ASSERT(n > 0, "shim needs at least one handler thread");
+    handlerThreads_ = n;
+    handlerSlots_ =
+        std::make_unique<sim::Semaphore>(os_.simulation(),
+                                         std::size_t(n));
+}
+
+PuId
+XpuShim::puId() const
+{
+    return os_.pu().id();
+}
+
+sim::Task<>
+XpuShim::handleCost()
+{
+    // One shim thread decodes one call at a time; with multi-threaded
+    // handling (per-thread MPSC queues, §5), calls are decoded
+    // concurrently and bursts no longer convoy.
+    ++xpucalls_;
+    co_await handlerSlots_->acquire();
+    sim::SemGuard g(*handlerSlots_);
+    co_await os_.swDelay(calib::kShimHandleCost);
+}
+
+sim::Task<>
+XpuShim::applySync(const SyncMessage &msg)
+{
+    co_await os_.swDelay(calib::kSyncApplyCost);
+    switch (msg.op) {
+      case SyncOp::RegisterObject:
+        caps_.registerObject(msg.obj);
+        // Replicating owner capabilities with the object keeps every
+        // permission check local (§5 "Immediate synchronization").
+        caps_.applyGrant(msg.obj.owner, msg.obj.id,
+                         Perm::Read | Perm::Write | Perm::Owner);
+        break;
+      case SyncOp::RemoveObject:
+        caps_.removeObject(msg.objId);
+        break;
+      case SyncOp::Grant:
+        caps_.applyGrant(msg.pid, msg.objId, msg.perm);
+        break;
+      case SyncOp::Revoke:
+        caps_.applyRevoke(msg.pid, msg.objId, msg.perm);
+        break;
+    }
+}
+
+namespace {
+
+/** One peer delivery: request hop, remote apply, ack hop. */
+sim::Task<>
+deliverToPeer(XpuShimNetwork &net, PuId from, PuId to,
+              SyncMessage msg)
+{
+    co_await net.transfer(from, to, msg.wireBytes());
+    co_await net.shimOn(to).applySync(msg);
+    co_await net.transfer(to, from, 16); // ack
+}
+
+} // namespace
+
+sim::Task<>
+XpuShim::broadcastImmediate(const SyncMessage &msg)
+{
+    // Apply locally first, then deliver to every peer concurrently and
+    // wait for all acks (the call must not return before the state is
+    // globally visible).
+    co_await applySync(msg);
+    std::vector<sim::Task<>> deliveries;
+    for (XpuShim *peer : net_.allShims()) {
+        if (peer == this)
+            continue;
+        ++syncSent_;
+        deliveries.push_back(
+            deliverToPeer(net_, puId(), peer->puId(), msg));
+    }
+    co_await sim::allOf(os_.simulation(), std::move(deliveries));
+}
+
+sim::Task<>
+XpuShim::enqueueLazy(const SyncMessage &msg)
+{
+    // Lazy path (§5): apply locally, batch the remote update. Stale
+    // remote state is harmless for reclamation; batching amortizes the
+    // wire cost.
+    co_await applySync(msg);
+    lazyQueue_.push_back(msg);
+    if (lazyQueue_.size() >= kLazyBatch)
+        co_await flushLazy();
+}
+
+sim::Task<>
+XpuShim::flushLazy()
+{
+    if (lazyQueue_.empty())
+        co_return;
+    std::vector<SyncMessage> batch;
+    batch.swap(lazyQueue_);
+    std::uint64_t bytes = 0;
+    for (const auto &m : batch)
+        bytes += m.wireBytes();
+    for (XpuShim *peer : net_.allShims()) {
+        if (peer == this)
+            continue;
+        ++syncSent_;
+        co_await net_.transfer(puId(), peer->puId(), bytes);
+        for (const auto &m : batch)
+            co_await peer->applySync(m);
+    }
+}
+
+sim::Task<XpuStatus>
+XpuShim::grantCap(XpuPid caller, XpuPid target, ObjId obj, Perm perm)
+{
+    co_await handleCost();
+    if (!caps_.check(caller, obj, Perm::Owner))
+        co_return XpuStatus::NoPermission;
+    SyncMessage msg;
+    msg.op = SyncOp::Grant;
+    msg.pid = target;
+    msg.objId = obj;
+    msg.perm = perm;
+    co_await broadcastImmediate(msg);
+    co_return XpuStatus::Ok;
+}
+
+sim::Task<XpuStatus>
+XpuShim::revokeCap(XpuPid caller, XpuPid target, ObjId obj, Perm perm)
+{
+    co_await handleCost();
+    if (!caps_.check(caller, obj, Perm::Owner))
+        co_return XpuStatus::NoPermission;
+    SyncMessage msg;
+    msg.op = SyncOp::Revoke;
+    msg.pid = target;
+    msg.objId = obj;
+    msg.perm = perm;
+    co_await broadcastImmediate(msg);
+    co_return XpuStatus::Ok;
+}
+
+sim::Task<FifoInitResult>
+XpuShim::xfifoInit(XpuPid caller, const std::string &globalUuid)
+{
+    std::string uuid = globalUuid;
+    co_await handleCost();
+    if (caps_.findByUuid(uuid) != nullptr)
+        co_return FifoInitResult{XpuStatus::AlreadyExists, 0};
+
+    DistributedObject obj;
+    obj.id = caps_.allocateId();
+    obj.type = ObjType::Ipc;
+    obj.owner = caller;
+    obj.homePu = puId();
+    obj.uuid = uuid;
+
+    auto &homed = queues_[obj.id];
+    homed.queue =
+        std::make_unique<sim::Mailbox<os::FifoMessage>>(os_.simulation());
+    homed.refCount = 1;
+
+    SyncMessage msg;
+    msg.op = SyncOp::RegisterObject;
+    msg.obj = obj;
+    // Global UUID uniqueness requires every shim to learn about the
+    // fifo before init returns (§5 "Immediate synchronization").
+    co_await broadcastImmediate(msg);
+    co_return FifoInitResult{XpuStatus::Ok, obj.id};
+}
+
+sim::Task<FifoInitResult>
+XpuShim::xfifoConnect(XpuPid caller, const std::string &globalUuid)
+{
+    std::string uuid = globalUuid;
+    co_await handleCost();
+    const DistributedObject *obj = caps_.findByUuid(uuid);
+    if (!obj)
+        co_return FifoInitResult{XpuStatus::NotFound, 0};
+    // Connect requires read or write permission (§3.2).
+    if (!caps_.check(caller, obj->id, Perm::Read) &&
+        !caps_.check(caller, obj->id, Perm::Write)) {
+        co_return FifoInitResult{XpuStatus::NoPermission, 0};
+    }
+    const ObjId id = obj->id;
+    XpuShim &home = net_.shimOn(obj->homePu);
+    if (auto *homed = home.findHomed(id))
+        ++homed->refCount;
+    co_return FifoInitResult{XpuStatus::Ok, id};
+}
+
+XpuShim::HomedFifo *
+XpuShim::findHomed(ObjId obj)
+{
+    auto it = queues_.find(obj);
+    return it == queues_.end() ? nullptr : &it->second;
+}
+
+sim::Task<XpuStatus>
+XpuShim::deliverLocal(ObjId obj, std::uint64_t bytes,
+                      const std::string &tag)
+{
+    HomedFifo *homed = findHomed(obj);
+    if (!homed)
+        co_return XpuStatus::NotFound;
+    os::FifoMessage msg{bytes, tag};
+    co_await homed->queue->put(std::move(msg));
+    co_return XpuStatus::Ok;
+}
+
+sim::Task<FifoReadResult>
+XpuShim::consumeLocal(ObjId obj)
+{
+    HomedFifo *homed = findHomed(obj);
+    if (!homed)
+        co_return FifoReadResult{XpuStatus::NotFound, {}};
+    os::FifoMessage msg = co_await homed->queue->get();
+    co_return FifoReadResult{XpuStatus::Ok, std::move(msg)};
+}
+
+sim::Task<XpuStatus>
+XpuShim::xfifoWrite(XpuPid caller, ObjId obj, std::uint64_t bytes,
+                    const std::string &tag)
+{
+    std::string owned_tag = tag;
+    co_await handleCost();
+    if (!caps_.check(caller, obj, Perm::Write))
+        co_return XpuStatus::NoPermission;
+    const DistributedObject *o = caps_.findObject(obj);
+    if (!o)
+        co_return XpuStatus::NotFound;
+
+    if (o->homePu == puId()) {
+        co_return co_await deliverLocal(obj, bytes, owned_tag);
+    }
+    // nIPC: payload + header cross the interconnect to the home shim,
+    // which enqueues after its own handling; a small ack comes back.
+    const PuId home = o->homePu;
+    co_await net_.transfer(puId(), home, bytes + 48);
+    XpuShim &homeShim = net_.shimOn(home);
+    co_await homeShim.handleCost();
+    XpuStatus st = co_await homeShim.deliverLocal(obj, bytes, owned_tag);
+    co_await net_.transfer(home, puId(), 16);
+    co_return st;
+}
+
+sim::Task<FifoReadResult>
+XpuShim::xfifoRead(XpuPid caller, ObjId obj)
+{
+    co_await handleCost();
+    if (!caps_.check(caller, obj, Perm::Read))
+        co_return FifoReadResult{XpuStatus::NoPermission, {}};
+    const DistributedObject *o = caps_.findObject(obj);
+    if (!o)
+        co_return FifoReadResult{XpuStatus::NotFound, {}};
+
+    if (o->homePu == puId()) {
+        co_return co_await consumeLocal(obj);
+    }
+    // Remote read: ask the home shim, block there, payload rides the
+    // return hop.
+    const PuId home = o->homePu;
+    co_await net_.transfer(puId(), home, 48);
+    XpuShim &homeShim = net_.shimOn(home);
+    co_await homeShim.handleCost();
+    FifoReadResult r = co_await homeShim.consumeLocal(obj);
+    co_await net_.transfer(home, puId(), r.msg.bytes + 16);
+    co_return r;
+}
+
+sim::Task<XpuStatus>
+XpuShim::xfifoClose(XpuPid caller, ObjId obj)
+{
+    co_await handleCost();
+    const DistributedObject *o = caps_.findObject(obj);
+    if (!o)
+        co_return XpuStatus::NotFound;
+    if (!caps_.check(caller, obj, Perm::Read) &&
+        !caps_.check(caller, obj, Perm::Write)) {
+        co_return XpuStatus::NoPermission;
+    }
+    XpuShim &home = net_.shimOn(o->homePu);
+    HomedFifo *homed = home.findHomed(obj);
+    if (homed && --homed->refCount <= 0) {
+        home.queues_.erase(obj);
+        // Reclamation tolerates staleness: batch it (§5 "Lazy
+        // synchronization").
+        SyncMessage msg;
+        msg.op = SyncOp::RemoveObject;
+        msg.objId = obj;
+        co_await home.enqueueLazy(msg);
+    }
+    co_return XpuStatus::Ok;
+}
+
+sim::Task<SpawnResult>
+XpuShim::xspawn(XpuPid caller, PuId target, const std::string &path,
+                const std::vector<CapGrant> &capv,
+                std::uint64_t memBytes)
+{
+    (void)caller; // xSpawn grants nothing implicitly (§3.4)
+    std::string owned_path = path;
+    std::vector<CapGrant> owned_capv = capv;
+    co_await handleCost();
+    if (!net_.hasShim(target))
+        co_return SpawnResult{XpuStatus::NotFound, {}};
+
+    XpuShim &remote = net_.shimOn(target);
+    const bool local = target == puId();
+    if (!local)
+        co_await net_.transfer(puId(), target, 64 + owned_path.size());
+    co_await remote.handleCost();
+
+    os::Process *proc =
+        co_await remote.os_.spawnProcess(owned_path, memBytes);
+    if (!proc) {
+        if (!local)
+            co_await net_.transfer(target, puId(), 16);
+        co_return SpawnResult{XpuStatus::NoMemory, {}};
+    }
+    const XpuPid child{target, proc->pid()};
+
+    // No implicit permission inheritance: only capv is granted (§3.4),
+    // synchronized immediately like any capability update.
+    for (const CapGrant &g : owned_capv) {
+        SyncMessage msg;
+        msg.op = SyncOp::Grant;
+        msg.pid = child;
+        msg.objId = g.obj;
+        msg.perm = g.perm;
+        co_await remote.broadcastImmediate(msg);
+    }
+
+    if (const auto *hook = net_.findProgram(owned_path))
+        (*hook)(remote, *proc);
+
+    if (!local)
+        co_await net_.transfer(target, puId(), 24);
+    co_return SpawnResult{XpuStatus::Ok, child};
+}
+
+XpuShim *
+XpuShimNetwork::addShim(os::LocalOs &os, TransportKind transport)
+{
+    const PuId pu = os.pu().id();
+    MOLECULE_ASSERT(!shims_.count(pu), "PU %d already has a shim", pu);
+    auto shim = std::make_unique<XpuShim>(*this, os, transport);
+    XpuShim *raw = shim.get();
+    shims_[pu] = std::move(shim);
+    return raw;
+}
+
+XpuShim &
+XpuShimNetwork::shimOn(PuId pu)
+{
+    auto it = shims_.find(pu);
+    if (it == shims_.end())
+        sim::fatal("no XPU-Shim on PU %d", pu);
+    return *it->second;
+}
+
+bool
+XpuShimNetwork::hasShim(PuId pu) const
+{
+    return shims_.count(pu) != 0;
+}
+
+std::vector<XpuShim *>
+XpuShimNetwork::allShims()
+{
+    std::vector<XpuShim *> out;
+    for (auto &[pu, shim] : shims_)
+        out.push_back(shim.get());
+    return out;
+}
+
+void
+XpuShimNetwork::registerProgram(const std::string &path, ProgramHook hook)
+{
+    programs_[path] = std::move(hook);
+}
+
+const XpuShimNetwork::ProgramHook *
+XpuShimNetwork::findProgram(const std::string &path) const
+{
+    auto it = programs_.find(path);
+    return it == programs_.end() ? nullptr : &it->second;
+}
+
+sim::Task<>
+XpuShimNetwork::transfer(PuId from, PuId to, std::uint64_t bytes)
+{
+    if (from == to)
+        co_return;
+    co_await computer_.topology().transfer(from, to, bytes);
+}
+
+sim::SimTime
+XpuShimNetwork::transferLatency(PuId from, PuId to,
+                                std::uint64_t bytes) const
+{
+    if (from == to)
+        return sim::SimTime(0);
+    return computer_.topology().transferLatency(from, to, bytes);
+}
+
+} // namespace molecule::xpu

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * XPU-Shim: the distributed shim between one serverless runtime and the
+ * multiple local OSes of a heterogeneous computer (§3).
+ *
+ * One XpuShim instance runs (as a pinned user-space process) on every
+ * general-purpose PU; accelerators get *virtual* shim instances hosted
+ * on a neighbor PU (§4.1). Shims replicate global state — distributed
+ * objects and capabilities — with three strategies (§5):
+ *
+ *  - no synchronization for statically partitioned ids (pids, ObjIds);
+ *  - immediate synchronization for xfifo_init and capability updates,
+ *    so permission checks are always local;
+ *  - lazy, batched synchronization for harmless-stale state (object
+ *    reclamation when an XPU-FIFO's refcount reaches zero).
+ *
+ * XPU-FIFO: the backing queue lives on the creator's PU (home). Writes
+ * from other PUs cross the interconnect (nIPC); the measured latencies
+ * of Fig 8 are exactly this path under the three XPUcall transports.
+ */
+
+#ifndef MOLECULE_XPU_SHIM_HH
+#define MOLECULE_XPU_SHIM_HH
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/computer.hh"
+#include "os/fifo.hh"
+#include "os/kernel.hh"
+#include "xpu/capability.hh"
+#include "xpu/message.hh"
+#include "xpu/transport.hh"
+
+namespace molecule::xpu {
+
+class XpuShimNetwork;
+
+/** A capability passed to xSpawn's capv argument (Table 2). */
+struct CapGrant
+{
+    ObjId obj = 0;
+    Perm perm = Perm::None;
+};
+
+/** Result structs for fd- and pid-returning XPUcalls. */
+struct FifoInitResult
+{
+    XpuStatus status = XpuStatus::Ok;
+    ObjId obj = 0;
+};
+
+struct FifoReadResult
+{
+    XpuStatus status = XpuStatus::Ok;
+    os::FifoMessage msg;
+};
+
+struct SpawnResult
+{
+    XpuStatus status = XpuStatus::Ok;
+    XpuPid pid;
+};
+
+/**
+ * The shim instance of one PU.
+ */
+class XpuShim
+{
+  public:
+    /**
+     * @param net the computer-wide shim network
+     * @param os the local OS this shim runs on
+     * @param transport XPUcall transport used by processes on this PU
+     */
+    XpuShim(XpuShimNetwork &net, os::LocalOs &os, TransportKind transport);
+
+    PuId puId() const;
+
+    os::LocalOs &localOs() { return os_; }
+
+    const Transport &transport() const { return transport_; }
+
+    void setTransport(TransportKind kind) { transport_ = Transport(kind); }
+
+    CapabilityStore &caps() { return caps_; }
+    const CapabilityStore &caps() const { return caps_; }
+
+    /** Charge this shim's per-call handling cost (decode + checks). */
+    sim::Task<> handleCost();
+
+    /**
+     * Configure multi-threaded XPUcall handling (§5): each shim thread
+     * polls a dedicated MPSC queue, so up to @p n calls are decoded
+     * concurrently. Default 1.
+     */
+    void setHandlerThreads(int n);
+
+    int handlerThreads() const { return handlerThreads_; }
+
+    /** @name XPUcall backends (Table 2), invoked via XpuClient. */
+    ///@{
+
+    sim::Task<XpuStatus> grantCap(XpuPid caller, XpuPid target,
+                                  ObjId obj, Perm perm);
+
+    sim::Task<XpuStatus> revokeCap(XpuPid caller, XpuPid target,
+                                   ObjId obj, Perm perm);
+
+    /**
+     * Create an XPU-FIFO homed on this PU. The global UUID must be
+     * unique computer-wide, which is why this call synchronizes
+     * immediately with every peer shim.
+     */
+    sim::Task<FifoInitResult> xfifoInit(XpuPid caller,
+                                        const std::string &globalUuid);
+
+    /** Connect to an XPU-FIFO by global UUID (needs Read or Write). */
+    sim::Task<FifoInitResult> xfifoConnect(XpuPid caller,
+                                           const std::string &globalUuid);
+
+    /** Write @p bytes (payload rides shared memory / the wire). */
+    sim::Task<XpuStatus> xfifoWrite(XpuPid caller, ObjId obj,
+                                    std::uint64_t bytes,
+                                    const std::string &tag);
+
+    /** Blocking read from an XPU-FIFO. */
+    sim::Task<FifoReadResult> xfifoRead(XpuPid caller, ObjId obj);
+
+    /** Drop one reference; reclamation syncs lazily. */
+    sim::Task<XpuStatus> xfifoClose(XpuPid caller, ObjId obj);
+
+    /**
+     * Spawn @p path on PU @p target, granting @p capv to the child
+     * (no permissions are inherited implicitly, §3.4).
+     */
+    sim::Task<SpawnResult> xspawn(XpuPid caller, PuId target,
+                                  const std::string &path,
+                                  const std::vector<CapGrant> &capv,
+                                  std::uint64_t memBytes);
+    ///@}
+
+    /** @name Inter-shim plumbing */
+    ///@{
+
+    /** Apply one replicated update locally (charges apply cost). */
+    sim::Task<> applySync(const SyncMessage &msg);
+
+    /** Immediate synchronization: deliver to all peers, await acks. */
+    sim::Task<> broadcastImmediate(const SyncMessage &msg);
+
+    /** Queue a lazy update; flushes in batches. */
+    sim::Task<> enqueueLazy(const SyncMessage &msg);
+
+    /** Force the lazy queue out (tests / shutdown). */
+    sim::Task<> flushLazy();
+
+    std::size_t lazyQueueDepth() const { return lazyQueue_.size(); }
+    ///@}
+
+    /** @name Introspection / stats */
+    ///@{
+    std::int64_t xpucallCount() const { return xpucalls_; }
+
+    std::int64_t syncMessagesSent() const { return syncSent_; }
+
+    /** Live backing queues on this PU (homed XPU-FIFOs). */
+    std::size_t homedFifoCount() const { return queues_.size(); }
+    ///@}
+
+  private:
+    friend class XpuClient;
+
+    struct HomedFifo
+    {
+        std::unique_ptr<sim::Mailbox<os::FifoMessage>> queue;
+        int refCount = 0;
+    };
+
+    /** Deliver a write into a fifo homed here (charges handling). */
+    sim::Task<XpuStatus> deliverLocal(ObjId obj, std::uint64_t bytes,
+                                      const std::string &tag);
+
+    /** Blocking pop from a fifo homed here. */
+    sim::Task<FifoReadResult> consumeLocal(ObjId obj);
+
+    HomedFifo *findHomed(ObjId obj);
+
+    /** Batch size that triggers a lazy flush. */
+    static constexpr std::size_t kLazyBatch = 8;
+
+    XpuShimNetwork &net_;
+    os::LocalOs &os_;
+    Transport transport_;
+    int handlerThreads_ = 1;
+    std::unique_ptr<sim::Semaphore> handlerSlots_;
+    CapabilityStore caps_;
+    std::map<ObjId, HomedFifo> queues_;
+    std::vector<SyncMessage> lazyQueue_;
+    std::int64_t xpucalls_ = 0;
+    std::int64_t syncSent_ = 0;
+};
+
+/**
+ * All shims of one heterogeneous computer plus the program registry
+ * used by xSpawn.
+ */
+class XpuShimNetwork
+{
+  public:
+    /** Factory invoked when xSpawn starts @p path somewhere. */
+    using ProgramHook =
+        std::function<void(XpuShim &shim, os::Process &proc)>;
+
+    explicit XpuShimNetwork(hw::Computer &computer)
+        : computer_(computer)
+    {}
+
+    XpuShimNetwork(const XpuShimNetwork &) = delete;
+    XpuShimNetwork &operator=(const XpuShimNetwork &) = delete;
+
+    hw::Computer &computer() { return computer_; }
+
+    /** Create the shim for @p os's PU. */
+    XpuShim *addShim(os::LocalOs &os, TransportKind transport);
+
+    /** Shim on PU @p pu (fatal when absent). */
+    XpuShim &shimOn(PuId pu);
+
+    bool hasShim(PuId pu) const;
+
+    std::vector<XpuShim *> allShims();
+
+    /** Register the behavior behind an xSpawn'able program path. */
+    void registerProgram(const std::string &path, ProgramHook hook);
+
+    const ProgramHook *findProgram(const std::string &path) const;
+
+    /** Move @p bytes between two PUs across the topology. */
+    sim::Task<> transfer(PuId from, PuId to, std::uint64_t bytes);
+
+    /** Closed-form link latency (diagnostics). */
+    sim::SimTime transferLatency(PuId from, PuId to,
+                                 std::uint64_t bytes) const;
+
+    /** Default xSpawn'd process image size (paper: thin executor). */
+    static constexpr std::uint64_t kDefaultSpawnBytes = 8ULL << 20;
+
+  private:
+    hw::Computer &computer_;
+    std::map<PuId, std::unique_ptr<XpuShim>> shims_;
+    std::map<std::string, ProgramHook> programs_;
+};
+
+} // namespace molecule::xpu
+
+#endif // MOLECULE_XPU_SHIM_HH

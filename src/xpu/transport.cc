@@ -1,0 +1,70 @@
+#include "xpu/transport.hh"
+
+#include "hw/calibration.hh"
+
+namespace molecule::xpu {
+
+namespace calib = hw::calib;
+
+const char *
+toString(TransportKind k)
+{
+    switch (k) {
+      case TransportKind::Fifo:
+        return "nIPC-Base";
+      case TransportKind::Mpsc:
+        return "nIPC-MPSC";
+      case TransportKind::MpscPoll:
+        return "nIPC-Poll";
+    }
+    return "?";
+}
+
+sim::SimTime
+Transport::fifoOneWay(const hw::ProcessingUnit &pu, std::uint64_t bytes)
+{
+    // Sender write(2) + kernel copy + receiver wakeup + read(2).
+    const auto copy = sim::SimTime::nanoseconds(
+        std::int64_t(double(bytes) * calib::kFifoCopyNsPerByte));
+    return pu.swCost(calib::kSyscallCost * 2.0 +
+                     calib::kSchedWakeupCost + copy);
+}
+
+sim::SimTime
+Transport::requestCost(const hw::ProcessingUnit &pu,
+                       std::uint64_t bytes) const
+{
+    switch (kind_) {
+      case TransportKind::Fifo:
+        // Small arguments cross the FIFO; bulk data rides shared
+        // memory, so only header-ish bytes pay the copy (§5).
+        return fifoOneWay(pu, bytes);
+      case TransportKind::Mpsc:
+      case TransportKind::MpscPoll:
+        // Lock-free enqueue by the client, then the polling shim
+        // notices the entry within a poll gap. The queue entry only
+        // names the caller; arguments sit in per-process shared
+        // memory (§5 security note), so no per-byte term.
+        return pu.swCost(calib::kMpscEnqueueCost) + calib::kShimPollGap;
+    }
+    return sim::SimTime(0);
+}
+
+sim::SimTime
+Transport::responseCost(const hw::ProcessingUnit &pu,
+                        std::uint64_t bytes) const
+{
+    switch (kind_) {
+      case TransportKind::Fifo:
+      case TransportKind::Mpsc:
+        // Response IPC: the shim writes a FIFO the client blocks on.
+        return fifoOneWay(pu, bytes);
+      case TransportKind::MpscPoll:
+        // The client spins on shared memory: shim store + client
+        // pickup, no syscalls and no wakeup.
+        return pu.swCost(calib::kShmResponsePollCost);
+    }
+    return sim::SimTime(0);
+}
+
+} // namespace molecule::xpu

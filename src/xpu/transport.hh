@@ -1,0 +1,66 @@
+/**
+ * @file
+ * XPUcall transports (§5, Figure 7).
+ *
+ * An XPUcall crosses from a user process to the XPU-Shim process on
+ * the same PU and back. Three implementations:
+ *
+ *  (a) Fifo      - request and response each take a local-FIFO IPC
+ *                  round trip (two syscalls + wakeup + copy);
+ *  (b) Mpsc      - requests go through a polled multi-producer
+ *                  single-consumer queue (no request IPC), responses
+ *                  still via FIFO;
+ *  (c) MpscPoll  - MPSC requests plus the client polling shared
+ *                  memory for responses (no IPC at all).
+ *
+ * The transport models the *costs around* the shim; the shim's own
+ * handling cost is charged by XpuShim. All software costs scale with
+ * the PU's swFactor, which is why the optimizations matter on the
+ * slow DPU cores (~100 us -> ~25 us) but are skipped on the host CPU
+ * (~20 us to begin with), as §6.1 reports.
+ */
+
+#ifndef MOLECULE_XPU_TRANSPORT_HH
+#define MOLECULE_XPU_TRANSPORT_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "hw/pu.hh"
+
+namespace molecule::xpu {
+
+/** Transport selection (Figure 7 a/b/c). */
+enum class TransportKind { Fifo, Mpsc, MpscPoll };
+
+const char *toString(TransportKind k);
+
+/**
+ * Cost model of one XPUcall's client<->shim crossings on @p pu.
+ */
+class Transport
+{
+  public:
+    explicit Transport(TransportKind kind) : kind_(kind) {}
+
+    TransportKind kind() const { return kind_; }
+
+    /** Client -> shim: deliver a request carrying @p bytes. */
+    sim::SimTime requestCost(const hw::ProcessingUnit &pu,
+                             std::uint64_t bytes) const;
+
+    /** Shim -> client: deliver a response carrying @p bytes. */
+    sim::SimTime responseCost(const hw::ProcessingUnit &pu,
+                              std::uint64_t bytes) const;
+
+  private:
+    /** One local-FIFO one-way transfer (write+wakeup+read). */
+    static sim::SimTime fifoOneWay(const hw::ProcessingUnit &pu,
+                                   std::uint64_t bytes);
+
+    TransportKind kind_;
+};
+
+} // namespace molecule::xpu
+
+#endif // MOLECULE_XPU_TRANSPORT_HH

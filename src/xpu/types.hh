@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Identifiers and status codes of the XPU-Shim layer (§3).
+ */
+
+#ifndef MOLECULE_XPU_TYPES_HH
+#define MOLECULE_XPU_TYPES_HH
+
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "os/process.hh"
+
+namespace molecule::xpu {
+
+/** Processing-unit id within one heterogeneous computer. */
+using PuId = int;
+
+/** Per-process XPU-FIFO descriptor. */
+using XpuFd = int;
+
+/** Id of a distributed object (IPC object, CAP_Group). */
+using ObjId = std::uint64_t;
+
+/**
+ * Globally unique process id: PU-id plus the local OS pid (§3.2
+ * "Global process"). The static encoding partitions the id space per
+ * PU, which is what lets process creation skip synchronization.
+ */
+struct XpuPid
+{
+    PuId pu = -1;
+    os::Pid local = -1;
+
+    /** Pack into one 64-bit value (PU in the high 32 bits). */
+    std::uint64_t
+    encode() const
+    {
+        return (std::uint64_t(std::uint32_t(pu)) << 32) |
+               std::uint64_t(std::uint32_t(local));
+    }
+
+    static XpuPid
+    decode(std::uint64_t v)
+    {
+        return XpuPid{PuId(v >> 32), os::Pid(v & 0xffffffffu)};
+    }
+
+    bool valid() const { return pu >= 0 && local >= 0; }
+
+    auto operator<=>(const XpuPid &) const = default;
+
+    std::string
+    toString() const
+    {
+        return "pu" + std::to_string(pu) + ":" + std::to_string(local);
+    }
+};
+
+/** Capability permission bits (§3.2). */
+enum class Perm : std::uint32_t {
+    None = 0,
+    Read = 1u << 0,
+    Write = 1u << 1,
+    /** May grant/revoke permissions on the object to others. */
+    Owner = 1u << 2,
+};
+
+constexpr Perm
+operator|(Perm a, Perm b)
+{
+    return Perm(std::uint32_t(a) | std::uint32_t(b));
+}
+
+constexpr Perm
+operator&(Perm a, Perm b)
+{
+    return Perm(std::uint32_t(a) & std::uint32_t(b));
+}
+
+constexpr Perm
+operator~(Perm a)
+{
+    return Perm(~std::uint32_t(a));
+}
+
+/** True when @p have includes every bit of @p need. */
+constexpr bool
+hasPerm(Perm have, Perm need)
+{
+    return (std::uint32_t(have) & std::uint32_t(need)) ==
+           std::uint32_t(need);
+}
+
+/** Result of an XPUcall. */
+enum class XpuStatus {
+    Ok,
+    NoPermission,
+    NotFound,
+    AlreadyExists,
+    InvalidArgument,
+    NoMemory,
+};
+
+const char *toString(XpuStatus s);
+
+} // namespace molecule::xpu
+
+#endif // MOLECULE_XPU_TYPES_HH

@@ -1,0 +1,93 @@
+/** @file Unit tests for deployment wiring and computer builders. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/deployment.hh"
+#include "hw/computer.hh"
+
+namespace {
+
+using namespace molecule;
+using core::Deployment;
+using hw::PuType;
+using xpu::TransportKind;
+
+TEST(Deployment, WiresOneStackPerPu)
+{
+    sim::Simulation sim;
+    auto computer = hw::buildCpuDpuServer(sim, 2,
+                                          hw::DpuGeneration::Bf1);
+    Deployment dep(*computer);
+    EXPECT_EQ(dep.generalPus().size(), 3u);
+    for (int pu : dep.generalPus()) {
+        EXPECT_EQ(&dep.osOn(pu).pu(), &computer->pu(pu));
+        EXPECT_EQ(&dep.runcOn(pu).localOs(), &dep.osOn(pu));
+        EXPECT_TRUE(dep.shimNet().hasShim(pu));
+    }
+}
+
+TEST(Deployment, TransportsFollowPaperDefaults)
+{
+    // §6.1: XPUcall optimizations applied on DPUs, not on the CPU.
+    sim::Simulation sim;
+    auto computer = hw::buildCpuDpuServer(sim, 1,
+                                          hw::DpuGeneration::Bf1);
+    Deployment dep(*computer);
+    EXPECT_EQ(dep.shimOn(0).transport().kind(), TransportKind::Fifo);
+    EXPECT_EQ(dep.shimOn(1).transport().kind(),
+              TransportKind::MpscPoll);
+}
+
+TEST(Deployment, AcceleratorsGetVirtualShimRuntimes)
+{
+    sim::Simulation sim;
+    auto computer = hw::buildFullHetero(sim);
+    Deployment dep(*computer);
+    ASSERT_EQ(dep.runfCount(), 1u);
+    ASSERT_EQ(dep.rungCount(), 1u);
+    // runf/runG are hosted by the accelerator's host PU's OS.
+    EXPECT_EQ(&dep.runf(0).device(), computer->fpgas()[0].get());
+    EXPECT_EQ(dep.runf(0).device().hostPuId(), 0);
+    EXPECT_EQ(&dep.rung(0).device(), computer->gpus()[0].get());
+}
+
+TEST(Deployment, PusOfTypeFiltersCorrectly)
+{
+    sim::Simulation sim;
+    auto computer = hw::buildFullHetero(sim);
+    Deployment dep(*computer);
+    EXPECT_EQ(dep.pusOfType(PuType::HostCpu).size(), 1u);
+    EXPECT_EQ(dep.pusOfType(PuType::Dpu).size(), 2u);
+    EXPECT_TRUE(dep.pusOfType(PuType::FpgaHost).empty());
+}
+
+TEST(Builders, F1ServerHasEightFpgas)
+{
+    sim::Simulation sim;
+    auto computer = hw::buildF1Server(sim, 8);
+    EXPECT_EQ(computer->fpgas().size(), 8u);
+    EXPECT_EQ(computer->puCount(), 1);
+    for (const auto &fpga : computer->fpgas()) {
+        EXPECT_EQ(fpga->totals().luts,
+                  hw::FpgaResources::f1Totals().luts);
+        EXPECT_EQ(fpga->hostPuId(), 0);
+    }
+}
+
+TEST(Builders, FullHeteroHasEveryPuKind)
+{
+    sim::Simulation sim;
+    auto computer = hw::buildFullHetero(sim);
+    EXPECT_EQ(computer->puCount(), 3);
+    EXPECT_EQ(computer->hostCpu().id(), 0);
+    EXPECT_EQ(computer->fpgas().size(), 1u);
+    EXPECT_EQ(computer->gpus().size(), 1u);
+    // Cross-PU routes exist between every general-purpose pair.
+    for (int a = 0; a < 3; ++a)
+        for (int b = 0; b < 3; ++b)
+            EXPECT_TRUE(computer->topology().hasRoute(a, b));
+}
+
+} // namespace

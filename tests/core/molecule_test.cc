@@ -1,0 +1,224 @@
+/** @file End-to-end tests for the Molecule runtime facade. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/molecule.hh"
+#include "hw/computer.hh"
+
+namespace {
+
+using molecule::core::ChainSpec;
+using molecule::core::DagCommMode;
+using molecule::core::InvocationRecord;
+using molecule::core::Molecule;
+using molecule::core::MoleculeOptions;
+using molecule::hw::buildCpuDpuServer;
+using molecule::hw::buildF1Server;
+using molecule::hw::Computer;
+using molecule::hw::DpuGeneration;
+using molecule::hw::PuType;
+using molecule::sim::Simulation;
+using molecule::workloads::Catalog;
+
+struct MoleculeFixture : ::testing::Test
+{
+    Simulation sim;
+    std::unique_ptr<Computer> computer =
+        buildCpuDpuServer(sim, 2, DpuGeneration::Bf1);
+    std::unique_ptr<Molecule> runtime;
+
+    void
+    makeRuntime(MoleculeOptions options)
+    {
+        runtime = std::make_unique<Molecule>(*computer, options);
+        runtime->registerCpuFunction("helloworld",
+                                     {PuType::HostCpu, PuType::Dpu});
+        runtime->registerCpuFunction("image-resize",
+                                     {PuType::HostCpu, PuType::Dpu});
+        for (const auto &fn : Catalog::alexaChain())
+            runtime->registerCpuFunction(fn,
+                                         {PuType::HostCpu, PuType::Dpu});
+        runtime->start();
+    }
+};
+
+TEST_F(MoleculeFixture, ColdThenWarmInvocation)
+{
+    makeRuntime(MoleculeOptions{});
+    auto cold = runtime->invokeSync("helloworld", 0);
+    EXPECT_TRUE(cold.coldStart);
+    // cfork on the host CPU: low double-digit milliseconds.
+    EXPECT_GT(cold.startup.toMilliseconds(), 5.0);
+    EXPECT_LT(cold.startup.toMilliseconds(), 25.0);
+
+    auto warm = runtime->invokeSync("helloworld", 0);
+    EXPECT_FALSE(warm.coldStart);
+    EXPECT_LT(warm.startup.toMilliseconds(), 0.1);
+    EXPECT_LT(warm.endToEnd, cold.endToEnd);
+    EXPECT_EQ(runtime->startup().warmHits(), 1);
+}
+
+TEST_F(MoleculeFixture, HomoBaselineColdStartIsSlower)
+{
+    makeRuntime(MoleculeOptions::homo());
+    auto cold = runtime->invokeSync("helloworld", 0);
+    EXPECT_TRUE(cold.coldStart);
+    // Full container + interpreter boot: >100 ms on the server CPU.
+    EXPECT_GT(cold.startup.toMilliseconds(), 100.0);
+}
+
+TEST_F(MoleculeFixture, CforkIsRoughly10xOverBaseline)
+{
+    makeRuntime(MoleculeOptions{});
+    auto mol = runtime->invokeSync("image-resize", 0);
+
+    Simulation sim2;
+    auto computer2 = buildCpuDpuServer(sim2, 2, DpuGeneration::Bf1);
+    Molecule homo(*computer2, MoleculeOptions::homo());
+    homo.registerCpuFunction("image-resize",
+                             {PuType::HostCpu, PuType::Dpu});
+    homo.start();
+    auto base = homo.invokeSync("image-resize", 0);
+
+    EXPECT_GT(base.startup.toMilliseconds() /
+                  mol.startup.toMilliseconds(),
+              8.0);
+}
+
+TEST_F(MoleculeFixture, RemoteStartAddsSmallNipcCost)
+{
+    makeRuntime(MoleculeOptions{});
+    // Same function cold-started locally vs on the DPU: the remote
+    // path adds the executor command round-trip (~1-3 ms at DPU
+    // speed), on top of the DPU's slower cfork.
+    auto local = runtime->invokeSync("helloworld", 0);
+    auto remote = runtime->invokeSync("helloworld", 1);
+    EXPECT_TRUE(remote.coldStart);
+    EXPECT_GT(remote.startup, local.startup);
+    // DPU cfork ~= 6.5x the CPU one + a few ms of command round-trip.
+    EXPECT_LT(remote.startup.toMilliseconds(),
+              local.startup.toMilliseconds() * 6.5 + 9.0);
+}
+
+TEST_F(MoleculeFixture, SchedulerPrefersCheaperDpu)
+{
+    makeRuntime(MoleculeOptions{});
+    auto rec = runtime->invokeSync("helloworld");
+    // DPU profiles are priced lower, so the scheduler picks a DPU.
+    EXPECT_EQ(computer->pu(rec.pu).type(), PuType::Dpu);
+}
+
+TEST_F(MoleculeFixture, ChainRunsOnSinglePuByAffinity)
+{
+    makeRuntime(MoleculeOptions{});
+    auto spec = ChainSpec::linear("alexa", Catalog::alexaChain());
+    auto rec = runtime->invokeChainSync(spec);
+    ASSERT_EQ(rec.invocations.size(), 5u);
+    const int pu0 = rec.invocations[0].pu;
+    for (const auto &inv : rec.invocations)
+        EXPECT_EQ(inv.pu, pu0);
+    EXPECT_EQ(rec.edgeLatencies.size(), 4u);
+}
+
+TEST_F(MoleculeFixture, IpcChainBeatsHttpChain)
+{
+    makeRuntime(MoleculeOptions{});
+    auto spec = ChainSpec::linear("alexa", Catalog::alexaChain());
+    std::vector<int> onCpu(5, 0);
+    auto ipc = runtime->invokeChainSync(spec, onCpu);
+
+    Simulation sim2;
+    auto computer2 = buildCpuDpuServer(sim2, 2, DpuGeneration::Bf1);
+    Molecule homo(*computer2, MoleculeOptions::homo());
+    for (const auto &fn : Catalog::alexaChain())
+        homo.registerCpuFunction(fn, {PuType::HostCpu});
+    homo.start();
+    auto http = homo.invokeChainSync(spec, onCpu);
+
+    // Fig 14-e: 2.04-2.47x less end-to-end latency for Alexa.
+    const double ratio = http.endToEnd.toMilliseconds() /
+                         ipc.endToEnd.toMilliseconds();
+    EXPECT_GT(ratio, 1.8);
+    EXPECT_LT(ratio, 2.9);
+    // Fig 12-a: per-edge 15-18x faster with IPC on the same PU.
+    for (std::size_t i = 0; i < 4; ++i) {
+        const double edgeRatio =
+            http.edgeLatencies[i].toMilliseconds() /
+            ipc.edgeLatencies[i].toMilliseconds();
+        EXPECT_GT(edgeRatio, 10.0);
+        EXPECT_LT(edgeRatio, 25.0);
+    }
+}
+
+TEST_F(MoleculeFixture, CrossPuChainUsesNipc)
+{
+    makeRuntime(MoleculeOptions{});
+    auto spec = ChainSpec::linear("alexa", Catalog::alexaChain());
+    // Alternate CPU/DPU so every edge crosses PUs (Fig 14-e CrossPU).
+    std::vector<int> cross{0, 1, 0, 1, 0};
+    auto rec = runtime->invokeChainSync(spec, cross);
+    ASSERT_EQ(rec.edgeLatencies.size(), 4u);
+    for (const auto &edge : rec.edgeLatencies) {
+        // nIPC edges stay sub-millisecond (Fig 12-c/d Molecule bars).
+        EXPECT_LT(edge.toMilliseconds(), 1.2);
+        EXPECT_GT(edge.toMilliseconds(), 0.1);
+    }
+}
+
+TEST_F(MoleculeFixture, KeepAliveCachesAndEvicts)
+{
+    MoleculeOptions options;
+    options.startup.warmCapacity = 2;
+    makeRuntime(options);
+    for (int i = 0; i < 5; ++i)
+        runtime->invokeSync("helloworld", 0);
+    EXPECT_LE(runtime->startup().warmCount("helloworld", 0), 2u);
+    EXPECT_EQ(runtime->startup().coldStarts(), 1);
+}
+
+TEST(MoleculeFpga, InvokeColdAndWarm)
+{
+    Simulation sim;
+    auto computer = buildF1Server(sim, 1);
+    Molecule runtime(*computer, MoleculeOptions{});
+    runtime.registerFpgaFunction("fpga-vmult");
+    runtime.registerFpgaFunction("fpga-madd");
+    runtime.start();
+
+    auto cold = runtime.invokeFpgaSync("fpga-vmult", 0, 1);
+    EXPECT_TRUE(cold.coldStart);
+    // Cold FPGA start: program + sandbox prep, seconds.
+    EXPECT_GT(cold.startup.toSeconds(), 1.0);
+
+    auto warm = runtime.invokeFpgaSync("fpga-vmult", 0, 1);
+    EXPECT_FALSE(warm.coldStart);
+    EXPECT_LT(warm.startup.toMilliseconds(), 1.0);
+    // Warm execution ~= kernel + invoke overheads.
+    EXPECT_NEAR(warm.execution.toMicroseconds(), 1218.0 + 38.0, 30.0);
+}
+
+TEST(MoleculeFpga, HotSetKeepsSiblingsCached)
+{
+    Simulation sim;
+    auto computer = buildF1Server(sim, 1);
+    Molecule runtime(*computer, MoleculeOptions{});
+    runtime.registerFpgaFunction("fpga-vmult");
+    runtime.registerFpgaFunction("fpga-madd");
+    runtime.registerFpgaFunction("fpga-mscale");
+    runtime.start();
+
+    runtime.startup().setFpgaHotSet(
+        0, {"fpga-vmult", "fpga-madd", "fpga-mscale"});
+    auto first = runtime.invokeFpgaSync("fpga-vmult", 0, 1);
+    EXPECT_TRUE(first.coldStart);
+    // Siblings were packed into the same image: warm for them too.
+    auto second = runtime.invokeFpgaSync("fpga-madd", 0, 1);
+    EXPECT_FALSE(second.coldStart);
+    auto third = runtime.invokeFpgaSync("fpga-mscale", 0, 1);
+    EXPECT_FALSE(third.coldStart);
+    EXPECT_EQ(computer->fpga(0).programCount(), 1);
+}
+
+} // namespace

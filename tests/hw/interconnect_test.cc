@@ -1,0 +1,117 @@
+/** @file Unit tests for links, routes and the computer topology. */
+
+#include <gtest/gtest.h>
+
+#include "hw/calibration.hh"
+#include "hw/computer.hh"
+#include "hw/interconnect.hh"
+
+namespace {
+
+namespace calib = molecule::hw::calib;
+using molecule::hw::buildCpuDpuServer;
+using molecule::hw::DpuGeneration;
+using molecule::hw::Link;
+using molecule::hw::LinkKind;
+using molecule::hw::LinkParams;
+using molecule::hw::Topology;
+using molecule::sim::Simulation;
+using molecule::sim::SimTime;
+using molecule::sim::Task;
+using namespace molecule::sim::literals;
+
+TEST(Link, LatencyIsBasePlusBandwidthTerm)
+{
+    Simulation sim;
+    LinkParams p = LinkParams::forKind(LinkKind::PcieRdma);
+    Link link(sim, p);
+    const auto zero = link.transferLatency(0);
+    EXPECT_EQ(zero, calib::kRdmaBaseLatency);
+    // 50 Gbps: 1 MiB should take ~168 us on the wire.
+    const auto mib = link.transferLatency(1 << 20);
+    const double usExpected =
+        2.5 + double(1 << 20) * 8.0 / (50.0 * 1e9) * 1e6;
+    EXPECT_NEAR(mib.toMicroseconds(), usExpected, 0.5);
+}
+
+TEST(Link, KindsHaveDistinctProfiles)
+{
+    // DMA has much higher per-descriptor latency than RDMA (55us vs
+    // 2.5us); shmem is the cheapest.
+    auto shm = LinkParams::forKind(LinkKind::Shmem);
+    auto rdma = LinkParams::forKind(LinkKind::PcieRdma);
+    auto dma = LinkParams::forKind(LinkKind::PcieDma);
+    auto eth = LinkParams::forKind(LinkKind::Ethernet);
+    EXPECT_LT(shm.baseLatency, rdma.baseLatency);
+    EXPECT_LT(rdma.baseLatency, eth.baseLatency);
+    EXPECT_LT(eth.baseLatency, dma.baseLatency);
+}
+
+Task<>
+doTransfer(Topology &topo, int a, int b, std::uint64_t bytes,
+           SimTime *out, Simulation &sim)
+{
+    co_await topo.transfer(a, b, bytes);
+    *out = sim.now();
+}
+
+TEST(Topology, CpuDpuServerHasRdmaRoutes)
+{
+    Simulation sim;
+    auto computer = buildCpuDpuServer(sim, 2, DpuGeneration::Bf1);
+    EXPECT_EQ(computer->puCount(), 3);
+    auto &topo = computer->topology();
+    EXPECT_TRUE(topo.hasRoute(0, 1));
+    EXPECT_TRUE(topo.hasRoute(1, 0));
+    EXPECT_TRUE(topo.hasRoute(1, 2));
+    EXPECT_TRUE(topo.hasRoute(0, 0));
+    // host<->DPU is direct RDMA.
+    EXPECT_TRUE(topo.route(0, 1).direct());
+    // DPU<->DPU is CPU-intercepted: two hops + forwarding.
+    const auto &r = topo.route(1, 2);
+    EXPECT_EQ(r.hops.size(), 2u);
+    EXPECT_EQ(r.forwardCost, calib::kCpuInterceptCost);
+}
+
+TEST(Topology, InterceptedRouteIsSlowerThanDirect)
+{
+    Simulation sim;
+    auto computer = buildCpuDpuServer(sim, 2, DpuGeneration::Bf1);
+    auto &topo = computer->topology();
+    const auto direct = topo.transferLatency(0, 1, 4096);
+    const auto hop2 = topo.transferLatency(1, 2, 4096);
+    EXPECT_GT(hop2, direct * 1.9);
+}
+
+TEST(Topology, TransferAdvancesClockByLatency)
+{
+    Simulation sim;
+    auto computer = buildCpuDpuServer(sim, 1, DpuGeneration::Bf1);
+    auto &topo = computer->topology();
+    SimTime done;
+    sim.spawn(doTransfer(topo, 0, 1, 4096, &done, sim));
+    sim.run();
+    const auto expect = topo.transferLatency(0, 1, 4096);
+    // within the 3% jitter envelope (3 sigma = 9%)
+    EXPECT_NEAR(done.toMicroseconds(), expect.toMicroseconds(),
+                expect.toMicroseconds() * 0.1);
+}
+
+TEST(Topology, MissingRouteIsDetected)
+{
+    Simulation sim;
+    Topology topo(sim);
+    EXPECT_FALSE(topo.hasRoute(3, 4));
+}
+
+TEST(Topology, LinkAccountsBytesMoved)
+{
+    Simulation sim;
+    Link link(sim, LinkParams::forKind(LinkKind::Shmem));
+    auto t = [](Link &l) -> Task<> { co_await l.transfer(100); };
+    sim.spawn(t(link));
+    sim.run();
+    EXPECT_EQ(link.bytesMoved(), 100u);
+}
+
+} // namespace

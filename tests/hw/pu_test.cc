@@ -1,0 +1,118 @@
+/** @file Unit tests for the processing-unit model. */
+
+#include <gtest/gtest.h>
+
+#include "hw/computer.hh"
+#include "hw/pu.hh"
+
+namespace {
+
+using molecule::hw::bluefield1Descriptor;
+using molecule::hw::bluefield2Descriptor;
+using molecule::hw::desktopI7Descriptor;
+using molecule::hw::ProcessingUnit;
+using molecule::hw::PuDescriptor;
+using molecule::hw::PuType;
+using molecule::hw::xeon8160Descriptor;
+using molecule::sim::Simulation;
+using molecule::sim::SimTime;
+using molecule::sim::Task;
+using namespace molecule::sim::literals;
+
+TEST(Pu, CostScalingFollowsFactors)
+{
+    Simulation sim;
+    ProcessingUnit bf1(sim, 1, bluefield1Descriptor(0));
+    // swFactor 6.5, computeFactor 4.8 from the calibration table.
+    EXPECT_EQ(bf1.swCost(10_ms), (10_ms) * 6.5);
+    EXPECT_EQ(bf1.computeCost(10_ms), (10_ms) * 4.8);
+}
+
+TEST(Pu, HostIsTheReference)
+{
+    Simulation sim;
+    ProcessingUnit host(sim, 0, xeon8160Descriptor());
+    EXPECT_EQ(host.swCost(10_ms), 10_ms);
+    EXPECT_EQ(host.computeCost(10_ms), 10_ms);
+    EXPECT_EQ(host.netCost(10_ms), 10_ms);
+}
+
+TEST(Pu, Bf2SitsBetweenBf1AndHost)
+{
+    auto bf1 = bluefield1Descriptor(0);
+    auto bf2 = bluefield2Descriptor(0);
+    EXPECT_LT(bf2.computeFactor, bf1.computeFactor);
+    EXPECT_GT(bf2.computeFactor, 1.0);
+    EXPECT_LT(bf2.swFactor, bf1.swFactor);
+    // Fig 14-d: BF-2 is 3x-4x better than BF-1.
+    EXPECT_GE(bf1.computeFactor / bf2.computeFactor, 3.0);
+    EXPECT_LE(bf1.computeFactor / bf2.computeFactor, 4.5);
+}
+
+Task<>
+burst(ProcessingUnit &pu, SimTime host, std::vector<SimTime> *done)
+{
+    co_await pu.compute(host);
+    done->push_back(pu.simulation().now());
+}
+
+TEST(Pu, CoresLimitConcurrency)
+{
+    Simulation sim;
+    PuDescriptor d = desktopI7Descriptor();
+    d.cores = 2;
+    d.computeFactor = 1.0;
+    ProcessingUnit pu(sim, 0, d);
+    std::vector<SimTime> done;
+    for (int i = 0; i < 4; ++i)
+        sim.spawn(burst(pu, 10_ms, &done));
+    sim.run();
+    ASSERT_EQ(done.size(), 4u);
+    EXPECT_EQ(done[1], 10_ms);
+    EXPECT_EQ(done[3], 20_ms);
+}
+
+TEST(Pu, ComputeScalesByFactor)
+{
+    Simulation sim;
+    PuDescriptor d = bluefield1Descriptor(0);
+    ProcessingUnit pu(sim, 0, d);
+    std::vector<SimTime> done;
+    sim.spawn(burst(pu, 10_ms, &done));
+    sim.run();
+    ASSERT_EQ(done.size(), 1u);
+    EXPECT_EQ(done[0], (10_ms) * 4.8);
+}
+
+TEST(Pu, MemoryAdmission)
+{
+    Simulation sim;
+    PuDescriptor d = desktopI7Descriptor();
+    d.memoryBytes = 1000;
+    ProcessingUnit pu(sim, 0, d);
+    EXPECT_TRUE(pu.tryAllocate(600));
+    EXPECT_FALSE(pu.tryAllocate(600));
+    EXPECT_EQ(pu.memoryUsed(), 600u);
+    EXPECT_EQ(pu.memoryFree(), 400u);
+    pu.free(600);
+    EXPECT_TRUE(pu.tryAllocate(1000));
+}
+
+TEST(Pu, DescriptorsMatchPaperTestbeds)
+{
+    auto xeon = xeon8160Descriptor();
+    EXPECT_EQ(xeon.cores, 96);
+    EXPECT_DOUBLE_EQ(xeon.freqGhz, 2.1);
+    EXPECT_EQ(xeon.type, PuType::HostCpu);
+
+    auto bf1 = bluefield1Descriptor(0);
+    EXPECT_EQ(bf1.cores, 16);
+    EXPECT_DOUBLE_EQ(bf1.freqGhz, 0.8);
+    EXPECT_EQ(bf1.type, PuType::Dpu);
+
+    auto bf2 = bluefield2Descriptor(1);
+    EXPECT_DOUBLE_EQ(bf2.freqGhz, 2.75);
+    EXPECT_EQ(bf2.name, "bf2-dpu1");
+}
+
+} // namespace

@@ -1,0 +1,168 @@
+/** @file Unit tests for region-based RSS/PSS/COW accounting. */
+
+#include <gtest/gtest.h>
+
+#include "os/memory.hh"
+
+namespace {
+
+using molecule::os::AddressSpace;
+
+TEST(Memory, PrivateMappingCountsFullyEverywhere)
+{
+    AddressSpace as;
+    as.mapPrivate("heap", 1000);
+    EXPECT_EQ(as.rss(), 1000u);
+    EXPECT_DOUBLE_EQ(as.pss(), 1000.0);
+    EXPECT_EQ(as.privateBytes(), 1000u);
+}
+
+TEST(Memory, SharedMappingSplitsPss)
+{
+    AddressSpace a, b;
+    auto region = a.mapPrivate("runtime", 1000);
+    b.mapShared(region);
+    EXPECT_EQ(a.rss(), 1000u);
+    EXPECT_EQ(b.rss(), 1000u);
+    EXPECT_DOUBLE_EQ(a.pss(), 500.0);
+    EXPECT_DOUBLE_EQ(b.pss(), 500.0);
+    EXPECT_EQ(a.privateBytes(), 0u);
+}
+
+TEST(Memory, ForkSharesEverything)
+{
+    AddressSpace parent, child;
+    parent.mapPrivate("runtime", 800);
+    parent.mapPrivate("heap", 200);
+    parent.forkInto(child);
+    EXPECT_EQ(child.rss(), 1000u);
+    EXPECT_DOUBLE_EQ(child.pss(), 500.0);
+    EXPECT_DOUBLE_EQ(parent.pss(), 500.0);
+}
+
+TEST(Memory, CowTouchMovesBytesPrivate)
+{
+    AddressSpace parent, child;
+    auto region = parent.mapPrivate("runtime", 1000);
+    parent.forkInto(child);
+    const auto pages = child.touchCow(region, 400);
+    EXPECT_EQ(pages, (400 + 4095) / 4096);
+    // child: 400 private + 600/2 shared
+    EXPECT_DOUBLE_EQ(child.pss(), 400.0 + 300.0);
+    // parent still shares the whole region view
+    EXPECT_DOUBLE_EQ(parent.pss(), 500.0);
+    // RSS unchanged: copied pages replace shared ones in the view.
+    EXPECT_EQ(child.rss(), 1000u);
+    EXPECT_EQ(child.privateBytes(), 400u);
+}
+
+TEST(Memory, CowTouchIsCappedAtRegionSize)
+{
+    AddressSpace a, b;
+    auto region = a.mapPrivate("r", 100);
+    a.forkInto(b);
+    EXPECT_GT(b.touchCow(region, 1000), 0);
+    EXPECT_EQ(b.touchCow(region, 1), 0);
+    EXPECT_DOUBLE_EQ(b.pss(), 100.0);
+}
+
+TEST(Memory, UnmapReleasesAndLastUnmapFreesPhysical)
+{
+    std::int64_t physical = 0;
+    auto hook = [&](std::int64_t d) {
+        physical += d;
+        return true;
+    };
+    AddressSpace a{hook}, b{hook};
+    auto region = a.mapPrivate("r", 1000);
+    EXPECT_EQ(physical, 1000);
+    b.mapShared(region);
+    EXPECT_EQ(physical, 1000); // sharing is free
+    b.touchCow(region, 300);
+    EXPECT_EQ(physical, 1300); // copies are physical
+    b.unmap(region);
+    EXPECT_EQ(physical, 1000); // copies released
+    a.unmap(region);
+    EXPECT_EQ(physical, 0); // last unmap releases the region
+}
+
+TEST(Memory, AdmissionFailureIsReported)
+{
+    std::int64_t physical = 0;
+    const std::int64_t cap = 1500;
+    auto hook = [&](std::int64_t d) {
+        if (d > 0 && physical + d > cap)
+            return false;
+        physical += d;
+        return true;
+    };
+    AddressSpace a{hook};
+    EXPECT_NE(a.mapPrivate("one", 1000), nullptr);
+    EXPECT_EQ(a.mapPrivate("two", 1000), nullptr);
+    EXPECT_EQ(a.rss(), 1000u);
+
+    AddressSpace b{hook};
+    auto r = a.findRegion("one");
+    b.mapShared(r);
+    EXPECT_EQ(b.touchCow(r, 1000), -1); // copy would exceed capacity
+}
+
+TEST(Memory, ClearUnmapsEverything)
+{
+    std::int64_t physical = 0;
+    auto hook = [&](std::int64_t d) {
+        physical += d;
+        return true;
+    };
+    AddressSpace a{hook};
+    a.mapPrivate("x", 100);
+    a.mapPrivate("y", 200);
+    a.clear();
+    EXPECT_EQ(a.rss(), 0u);
+    EXPECT_EQ(physical, 0);
+    EXPECT_EQ(a.mappingCount(), 0u);
+}
+
+TEST(Memory, FindRegionByLabel)
+{
+    AddressSpace a;
+    a.mapPrivate("runtime", 100);
+    EXPECT_NE(a.findRegion("runtime"), nullptr);
+    EXPECT_EQ(a.findRegion("missing"), nullptr);
+}
+
+TEST(Memory, PssSumApproximatesPhysicalAcrossSharers)
+{
+    // Property: sum of PSS over all address spaces tracks physical
+    // bytes. The model divides a region's shared portion by the full
+    // sharer count even after some sharers COW-copied parts of it, so
+    // the sum *undercounts* by at most the copied bytes.
+    std::int64_t physical = 0;
+    auto hook = [&](std::int64_t d) {
+        physical += d;
+        return true;
+    };
+    AddressSpace t{hook};
+    t.mapPrivate("runtime", 5000);
+    t.mapPrivate("tmpl", 1500);
+
+    std::vector<AddressSpace> children;
+    for (int i = 0; i < 8; ++i) {
+        AddressSpace c{hook};
+        t.findRegion("runtime");
+        c.mapShared(t.findRegion("runtime"));
+        c.mapPrivate("priv" + std::to_string(i), 700);
+        c.touchCow(t.findRegion("runtime"), 123 * (i + 1));
+        children.push_back(std::move(c));
+    }
+    double pssSum = t.pss();
+    std::uint64_t copiedTotal = 0;
+    for (int i = 0; i < 8; ++i)
+        copiedTotal += std::uint64_t(123 * (i + 1));
+    for (auto &c : children)
+        pssSum += c.pss();
+    EXPECT_LE(pssSum, double(physical) + 1e-6);
+    EXPECT_GE(pssSum, double(physical - std::int64_t(copiedTotal)) - 1e-6);
+}
+
+} // namespace

@@ -1,0 +1,238 @@
+/** @file Tests for runc: cfork ablation, OCI lifecycle, memory. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hw/calibration.hh"
+#include "hw/computer.hh"
+#include "sandbox/runc.hh"
+
+namespace {
+
+namespace calib = molecule::hw::calib;
+using molecule::hw::buildDesktop;
+using molecule::hw::Computer;
+using molecule::os::LocalOs;
+using molecule::sandbox::CreateRequest;
+using molecule::sandbox::FunctionImage;
+using molecule::sandbox::Language;
+using molecule::sandbox::RuncRuntime;
+using molecule::sandbox::SandboxState;
+using molecule::sandbox::StartupPath;
+using molecule::sim::Simulation;
+using molecule::sim::SimTime;
+using molecule::sim::Task;
+using namespace molecule::sim::literals;
+
+/** The Fig 11 benchmark function: no extra imports, tiny code. */
+FunctionImage
+fig11Function()
+{
+    FunctionImage img;
+    img.funcId = "pyfn";
+    img.language = Language::Python;
+    img.mem.runtimeShared = std::uint64_t(4.5 * (1 << 20));
+    img.mem.privateBytes = 8 << 20;
+    img.mem.templateExtra = std::uint64_t(3.5 * (1 << 20));
+    img.importCost = SimTime(0);
+    img.funcLoadCost = SimTime(0);
+    return img;
+}
+
+struct RuncFixture : ::testing::Test
+{
+    Simulation sim;
+    std::unique_ptr<Computer> computer = buildDesktop(sim);
+    LocalOs os{computer->pu(0)};
+    RuncRuntime runc{os};
+    FunctionImage img = fig11Function();
+
+    SimTime
+    timeCreate(StartupPath path, const std::string &id)
+    {
+        runc.setStartupPath(path);
+        bool ok = false;
+        const SimTime t0 = sim.now();
+        auto doIt = [](RuncRuntime *r, CreateRequest req,
+                       bool *out) -> Task<> {
+            *out = co_await r->create(req);
+        };
+        CreateRequest req{id, &img};
+        sim.spawn(doIt(&runc, req, &ok));
+        sim.run();
+        EXPECT_TRUE(ok);
+        return sim.now() - t0;
+    }
+
+    void
+    prepare(int pooledContainers = 4)
+    {
+        auto prep = [](RuncRuntime *r, const FunctionImage *fi,
+                       int pool) -> Task<> {
+            bool ok = co_await r->prepareTemplate(*fi);
+            EXPECT_TRUE(ok);
+            if (pool > 0)
+                co_await r->prewarmFunctionContainers(pool);
+        };
+        sim.spawn(prep(&runc, &img, pooledContainers));
+        sim.run();
+    }
+};
+
+TEST_F(RuncFixture, Fig11aAblationLaddersDown)
+{
+    prepare();
+    const auto baseline = timeCreate(StartupPath::ColdBoot, "s0");
+    const auto naive = timeCreate(StartupPath::CforkNaive, "s1");
+    const auto func = timeCreate(StartupPath::CforkFuncContainer, "s2");
+    const auto opt = timeCreate(StartupPath::CforkCpusetOpt, "s3");
+
+    // Fig 11-a: 85.55 -> 47.25 -> 30.05 -> 8.40 ms (desktop).
+    EXPECT_NEAR(baseline.toMilliseconds(), 85.55, 5.0);
+    EXPECT_NEAR(naive.toMilliseconds(), 47.25, 3.0);
+    EXPECT_NEAR(func.toMilliseconds(), 30.05, 2.0);
+    EXPECT_NEAR(opt.toMilliseconds(), 8.40, 1.0);
+    // More than 10x faster than the baseline with all optimizations.
+    EXPECT_GT(baseline.toMilliseconds() / opt.toMilliseconds(), 9.0);
+}
+
+TEST_F(RuncFixture, ColdBootWithoutTemplateStillWorks)
+{
+    const auto t = timeCreate(StartupPath::CforkCpusetOpt, "s0");
+    // No template prepared: create silently falls back to cold boot.
+    EXPECT_GT(t.toMilliseconds(), 50.0);
+    EXPECT_FALSE(runc.find("s0")->forked);
+}
+
+TEST_F(RuncFixture, OciLifecycle)
+{
+    prepare();
+    timeCreate(StartupPath::CforkCpusetOpt, "sb");
+    EXPECT_EQ(runc.state("sb"), SandboxState::Created);
+
+    auto startIt = [](RuncRuntime *r, bool *out) -> Task<> {
+        *out = co_await r->start("sb");
+    };
+    bool ok = false;
+    sim.spawn(startIt(&runc, &ok));
+    sim.run();
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(runc.state("sb"), SandboxState::Running);
+
+    auto killIt = [](RuncRuntime *r) -> Task<> {
+        co_await r->kill("sb", 9);
+    };
+    sim.spawn(killIt(&runc));
+    sim.run();
+    EXPECT_EQ(runc.state("sb"), SandboxState::Stopped);
+
+    auto destroyIt = [](RuncRuntime *r) -> Task<> {
+        co_await r->destroy("sb");
+    };
+    sim.spawn(destroyIt(&runc));
+    sim.run();
+    EXPECT_EQ(runc.state("sb"), SandboxState::Unknown);
+    EXPECT_EQ(runc.instanceCount(), 0u);
+}
+
+TEST_F(RuncFixture, DuplicateSandboxIdRejected)
+{
+    prepare();
+    timeCreate(StartupPath::CforkCpusetOpt, "dup");
+    bool ok = true;
+    auto doIt = [](RuncRuntime *r, CreateRequest req, bool *out) -> Task<> {
+        *out = co_await r->create(req);
+    };
+    CreateRequest req{"dup", &img};
+    sim.spawn(doIt(&runc, req, &ok));
+    sim.run();
+    EXPECT_FALSE(ok);
+}
+
+TEST_F(RuncFixture, ForkedInstanceSharesMemory)
+{
+    prepare();
+    timeCreate(StartupPath::CforkCpusetOpt, "a");
+    timeCreate(StartupPath::CforkCpusetOpt, "b");
+    // Forked instances: RSS = shared runtime + private heap.
+    const auto rss = runc.instanceRss("a");
+    EXPECT_EQ(rss, img.mem.runtimeShared + img.mem.privateBytes);
+    // PSS < RSS because the runtime region is shared with the
+    // template and the sibling.
+    EXPECT_LT(runc.instancePss("a"), double(rss));
+
+    // A cold instance shares nothing.
+    timeCreate(StartupPath::ColdBoot, "c");
+    EXPECT_DOUBLE_EQ(runc.instancePss("c"),
+                     double(runc.instanceRss("c")));
+}
+
+TEST_F(RuncFixture, PssDropsWithConcurrency)
+{
+    // Fig 11-c: average PSS falls as more instances share the runtime.
+    prepare(20);
+    timeCreate(StartupPath::CforkCpusetOpt, "i0");
+    const double pss1 = runc.instancePss("i0");
+    for (int i = 1; i < 16; ++i)
+        timeCreate(StartupPath::CforkCpusetOpt,
+                   "i" + std::to_string(i));
+    const double pss16 = runc.instancePss("i0");
+    // The drop is bounded by the shared fraction of the footprint:
+    // private 8 MB + 4.5/2 MB -> private 8 MB + 4.5/17 MB.
+    EXPECT_LT(pss16, pss1 * 0.85);
+    const double sharedMb = double(img.mem.runtimeShared) / (1 << 20);
+    EXPECT_NEAR((pss1 - pss16) / (1 << 20),
+                sharedMb / 2 - sharedMb / 17, 0.05);
+}
+
+TEST_F(RuncFixture, FirstInvokePaysCowFaults)
+{
+    prepare();
+    timeCreate(StartupPath::CforkCpusetOpt, "sb");
+    auto startIt = [](RuncRuntime *r) -> Task<> {
+        co_await r->start("sb");
+    };
+    sim.spawn(startIt(&runc));
+    sim.run();
+
+    auto invokeIt = [](RuncRuntime *r, SimTime exec, SimTime *out,
+                       Simulation *s) -> Task<> {
+        const SimTime t0 = s->now();
+        co_await r->invoke("sb", exec);
+        *out = s->now() - t0;
+    };
+    SimTime first, second;
+    sim.spawn(invokeIt(&runc, 5_ms, &first, &sim));
+    sim.run();
+    sim.spawn(invokeIt(&runc, 5_ms, &second, &sim));
+    sim.run();
+    // First invocation: COW faults on ~10% of the shared runtime.
+    EXPECT_GT(first, second);
+    // Second invocation: pure execution (scaled by desktop factor).
+    EXPECT_NEAR(second.toMilliseconds(), 5.0 * 0.75, 0.2);
+    // The penalty stays small (sub-millisecond for this footprint).
+    EXPECT_LT((first - second).toMilliseconds(), 1.0);
+}
+
+TEST_F(RuncFixture, VectorOpsDegenerateToLoops)
+{
+    prepare();
+    runc.setStartupPath(StartupPath::CforkCpusetOpt);
+    std::vector<CreateRequest> reqs;
+    for (int i = 0; i < 3; ++i)
+        reqs.push_back(CreateRequest{"v" + std::to_string(i), &img});
+    int created = 0;
+    auto doIt = [](RuncRuntime *r, std::vector<CreateRequest> rs,
+                   int *out) -> Task<> {
+        *out = co_await r->createVector(rs);
+    };
+    sim.spawn(doIt(&runc, reqs, &created));
+    sim.run();
+    EXPECT_EQ(created, 3);
+    auto states = runc.stateVector({"v0", "v1", "v2"});
+    for (auto s : states)
+        EXPECT_EQ(s, SandboxState::Created);
+}
+
+} // namespace

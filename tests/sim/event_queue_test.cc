@@ -1,0 +1,124 @@
+/** @file Unit tests for the deterministic event queue. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+
+namespace {
+
+using molecule::sim::EventQueue;
+using molecule::sim::SimTime;
+using namespace molecule::sim::literals;
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3_us, [&] { order.push_back(3); });
+    q.schedule(1_us, [&] { order.push_back(1); });
+    q.schedule(2_us, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.popNext().second();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameInstantFiresInScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 16; ++i)
+        q.schedule(5_us, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.popNext().second();
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(EventQueue, PopNextReturnsTimestampAndCallback)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(7_us, [&] { ++fired; });
+    EXPECT_EQ(q.nextTime(), 7_us);
+    auto [when, fn] = q.popNext();
+    EXPECT_EQ(when, 7_us);
+    fn();
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelPreventsFiring)
+{
+    EventQueue q;
+    int fired = 0;
+    auto id = q.schedule(1_us, [&] { ++fired; });
+    q.schedule(2_us, [&] { ++fired; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_EQ(q.size(), 1u);
+    while (!q.empty())
+        q.popNext().second();
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, CancelAfterFireIsRejected)
+{
+    EventQueue q;
+    auto id = q.schedule(1_us, [] {});
+    q.popNext().second();
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, DoubleCancelIsRejected)
+{
+    EventQueue q;
+    auto id = q.schedule(1_us, [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelUnknownIdIsRejected)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(0));
+    EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, CallbackMayScheduleMoreEvents)
+{
+    EventQueue q;
+    std::vector<SimTime> fire;
+    q.schedule(1_us, [&] {
+        q.schedule(5_us, [&] { fire.push_back(5_us); });
+        fire.push_back(1_us);
+    });
+    while (!q.empty()) {
+        auto [when, fn] = q.popNext();
+        fn();
+        fire.push_back(when);
+    }
+    // Each firing logs twice: once from the callback, once from the
+    // popped timestamp.
+    ASSERT_EQ(fire.size(), 4u);
+    EXPECT_EQ(fire[0], 1_us);
+    EXPECT_EQ(fire[1], 1_us);
+    EXPECT_EQ(fire[2], 5_us);
+    EXPECT_EQ(fire[3], 5_us);
+}
+
+TEST(EventQueue, SizeTracksLiveEvents)
+{
+    EventQueue q;
+    auto a = q.schedule(1_us, [] {});
+    q.schedule(2_us, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.size(), 1u);
+    q.popNext().second();
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_TRUE(q.empty());
+}
+
+} // namespace

@@ -1,0 +1,119 @@
+/** @file Unit tests for the deterministic RNG and its distributions. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/random.hh"
+
+namespace {
+
+using molecule::sim::Rng;
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDifferentStreams)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += (a.next() == b.next());
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng r(7);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversInclusiveRange)
+{
+    Rng r(9);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 10000; ++i) {
+        auto v = r.uniformInt(3, 7);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 7);
+        sawLo |= (v == 3);
+        sawHi |= (v == 7);
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+}
+
+TEST(Rng, UniformIntSingleton)
+{
+    Rng r(9);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.uniformInt(5, 5), 5);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng r(11);
+    double sum = 0, sumSq = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double v = r.normal(10.0, 2.0);
+        sum += v;
+        sumSq += v * v;
+    }
+    const double mean = sum / n;
+    const double var = sumSq / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatches)
+{
+    Rng r(13);
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, JitterIsCenteredAndClamped)
+{
+    Rng r(17);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double j = r.jitter(0.05);
+        EXPECT_GT(j, 0.0);
+        EXPECT_GE(j, 1.0 - 3 * 0.05 - 1e-12);
+        EXPECT_LE(j, 1.0 + 3 * 0.05 + 1e-12);
+        sum += j;
+    }
+    EXPECT_NEAR(sum / n, 1.0, 0.01);
+}
+
+TEST(Rng, ZeroJitterIsIdentity)
+{
+    Rng r(19);
+    EXPECT_EQ(r.jitter(0.0), 1.0);
+    EXPECT_EQ(r.jitter(-1.0), 1.0);
+}
+
+} // namespace

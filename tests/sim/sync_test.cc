@@ -1,0 +1,203 @@
+/** @file Unit tests for SimEvent, Semaphore and Mailbox. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/sync.hh"
+
+namespace {
+
+using molecule::sim::Mailbox;
+using molecule::sim::Semaphore;
+using molecule::sim::SemGuard;
+using molecule::sim::SimEvent;
+using molecule::sim::Simulation;
+using molecule::sim::SimTime;
+using molecule::sim::Task;
+using namespace molecule::sim::literals;
+
+Task<>
+waitOn(Simulation &sim, SimEvent &ev, std::vector<SimTime> *log)
+{
+    co_await ev.wait();
+    log->push_back(sim.now());
+}
+
+Task<>
+triggerAt(Simulation &sim, SimEvent &ev, SimTime t)
+{
+    co_await sim.delay(t);
+    ev.trigger();
+}
+
+TEST(SimEvent, WakesAllWaitersAtTriggerTime)
+{
+    Simulation sim;
+    SimEvent ev(sim);
+    std::vector<SimTime> log;
+    sim.spawn(waitOn(sim, ev, &log));
+    sim.spawn(waitOn(sim, ev, &log));
+    sim.spawn(triggerAt(sim, ev, 25_us));
+    sim.run();
+    ASSERT_EQ(log.size(), 2u);
+    EXPECT_EQ(log[0], 25_us);
+    EXPECT_EQ(log[1], 25_us);
+}
+
+TEST(SimEvent, LateWaiterPassesThrough)
+{
+    Simulation sim;
+    SimEvent ev(sim);
+    ev.trigger();
+    std::vector<SimTime> log;
+    sim.spawn(waitOn(sim, ev, &log));
+    sim.run();
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log[0], 0_us);
+}
+
+TEST(SimEvent, ResetReArms)
+{
+    Simulation sim;
+    SimEvent ev(sim);
+    ev.trigger();
+    ev.reset();
+    EXPECT_FALSE(ev.triggered());
+    std::vector<SimTime> log;
+    sim.spawn(waitOn(sim, ev, &log));
+    sim.spawn(triggerAt(sim, ev, 5_us));
+    sim.run();
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log[0], 5_us);
+}
+
+Task<>
+worker(Simulation &sim, Semaphore &cores, SimTime burst,
+       std::vector<SimTime> *done)
+{
+    co_await cores.acquire();
+    SemGuard g(cores);
+    co_await sim.delay(burst);
+    done->push_back(sim.now());
+}
+
+TEST(Semaphore, LimitsConcurrency)
+{
+    Simulation sim;
+    Semaphore cores(sim, 2);
+    std::vector<SimTime> done;
+    for (int i = 0; i < 4; ++i)
+        sim.spawn(worker(sim, cores, 10_us, &done));
+    sim.run();
+    // 2 cores, 4 bursts of 10us -> completions at 10,10,20,20.
+    ASSERT_EQ(done.size(), 4u);
+    EXPECT_EQ(done[0], 10_us);
+    EXPECT_EQ(done[1], 10_us);
+    EXPECT_EQ(done[2], 20_us);
+    EXPECT_EQ(done[3], 20_us);
+}
+
+TEST(Semaphore, FifoHandoverCannotBeStolen)
+{
+    Simulation sim;
+    Semaphore sem(sim, 1);
+    std::vector<int> order;
+
+    auto holder = [](Simulation &s, Semaphore &m,
+                     std::vector<int> *log) -> Task<> {
+        co_await m.acquire();
+        log->push_back(1);
+        co_await s.delay(10_us);
+        m.release();
+    };
+    auto contender = [](Simulation &s, Semaphore &m, int id, SimTime at,
+                        std::vector<int> *log) -> Task<> {
+        co_await s.delay(at);
+        co_await m.acquire();
+        log->push_back(id);
+        co_await s.delay(10_us);
+        m.release();
+    };
+    sim.spawn(holder(sim, sem, &order));
+    sim.spawn(contender(sim, sem, 2, 1_us, &order));  // waits first
+    sim.spawn(contender(sim, sem, 3, 10_us, &order)); // arrives at release
+    sim.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+Task<>
+producer(Simulation &sim, Mailbox<int> &box, int n, SimTime gap)
+{
+    for (int i = 0; i < n; ++i) {
+        co_await sim.delay(gap);
+        co_await box.put(i);
+    }
+}
+
+Task<>
+consumer(Simulation &sim, Mailbox<int> &box, int n,
+         std::vector<std::pair<int, SimTime>> *log)
+{
+    for (int i = 0; i < n; ++i) {
+        int v = co_await box.get();
+        log->push_back({v, sim.now()});
+    }
+}
+
+TEST(Mailbox, DeliversInFifoOrder)
+{
+    Simulation sim;
+    Mailbox<int> box(sim);
+    std::vector<std::pair<int, SimTime>> log;
+    sim.spawn(consumer(sim, box, 3, &log));
+    sim.spawn(producer(sim, box, 3, 5_us));
+    sim.run();
+    ASSERT_EQ(log.size(), 3u);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(log[std::size_t(i)].first, i);
+        EXPECT_EQ(log[std::size_t(i)].second,
+                  SimTime::microseconds(5 * (i + 1)));
+    }
+}
+
+TEST(Mailbox, BoundedCapacityBlocksProducer)
+{
+    Simulation sim;
+    Mailbox<int> box(sim, 1);
+    std::vector<SimTime> putDone;
+
+    auto fastProducer = [](Simulation &s, Mailbox<int> &b,
+                           std::vector<SimTime> *log) -> Task<> {
+        for (int i = 0; i < 3; ++i) {
+            co_await b.put(i);
+            log->push_back(s.now());
+        }
+    };
+    auto slowConsumer = [](Simulation &s, Mailbox<int> &b) -> Task<> {
+        for (int i = 0; i < 3; ++i) {
+            co_await s.delay(10_us);
+            (void)co_await b.get();
+        }
+    };
+    sim.spawn(fastProducer(sim, box, &putDone));
+    sim.spawn(slowConsumer(sim, box));
+    sim.run();
+    ASSERT_EQ(putDone.size(), 3u);
+    EXPECT_EQ(putDone[0], 0_us);  // fills the single slot
+    EXPECT_EQ(putDone[1], 10_us); // after first get
+    EXPECT_EQ(putDone[2], 20_us); // after second get
+}
+
+TEST(Mailbox, TryPutRespectsCapacity)
+{
+    Simulation sim;
+    Mailbox<std::string> box(sim, 2);
+    EXPECT_TRUE(box.tryPut("a"));
+    EXPECT_TRUE(box.tryPut("b"));
+    EXPECT_FALSE(box.tryPut("c"));
+    EXPECT_EQ(box.size(), 2u);
+}
+
+} // namespace

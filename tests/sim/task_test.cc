@@ -1,0 +1,197 @@
+/** @file Unit tests for coroutine tasks over the simulation driver. */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulation.hh"
+#include "sim/task.hh"
+
+namespace {
+
+using molecule::sim::Simulation;
+using molecule::sim::SimTime;
+using molecule::sim::Task;
+using namespace molecule::sim::literals;
+
+Task<>
+sleeper(Simulation &sim, SimTime t, std::vector<SimTime> *log)
+{
+    co_await sim.delay(t);
+    log->push_back(sim.now());
+}
+
+TEST(Task, DelayAdvancesClock)
+{
+    Simulation sim;
+    std::vector<SimTime> log;
+    sim.spawn(sleeper(sim, 10_us, &log));
+    sim.run();
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(log[0], 10_us);
+    EXPECT_EQ(sim.now(), 10_us);
+}
+
+TEST(Task, ParallelTasksInterleaveByTime)
+{
+    Simulation sim;
+    std::vector<SimTime> log;
+    sim.spawn(sleeper(sim, 30_us, &log));
+    sim.spawn(sleeper(sim, 10_us, &log));
+    sim.spawn(sleeper(sim, 20_us, &log));
+    sim.run();
+    ASSERT_EQ(log.size(), 3u);
+    EXPECT_EQ(log[0], 10_us);
+    EXPECT_EQ(log[1], 20_us);
+    EXPECT_EQ(log[2], 30_us);
+}
+
+Task<int>
+answer(Simulation &sim)
+{
+    co_await sim.delay(1_us);
+    co_return 42;
+}
+
+Task<>
+asker(Simulation &sim, int *out)
+{
+    *out = co_await answer(sim);
+}
+
+TEST(Task, ChildTaskReturnsValue)
+{
+    Simulation sim;
+    int out = 0;
+    sim.spawn(asker(sim, &out));
+    sim.run();
+    EXPECT_EQ(out, 42);
+    EXPECT_EQ(sim.now(), 1_us);
+}
+
+Task<int>
+twoStage(Simulation &sim)
+{
+    int a = co_await answer(sim);
+    int b = co_await answer(sim);
+    co_return a + b;
+}
+
+Task<>
+nestedAsker(Simulation &sim, int *out)
+{
+    *out = co_await twoStage(sim);
+}
+
+TEST(Task, NestedChildrenAccumulateTime)
+{
+    Simulation sim;
+    int out = 0;
+    sim.spawn(nestedAsker(sim, &out));
+    sim.run();
+    EXPECT_EQ(out, 84);
+    EXPECT_EQ(sim.now(), 2_us);
+}
+
+Task<int>
+thrower(Simulation &sim)
+{
+    co_await sim.delay(1_us);
+    throw std::runtime_error("boom");
+}
+
+Task<>
+catcher(Simulation &sim, bool *caught)
+{
+    try {
+        (void)co_await thrower(sim);
+    } catch (const std::runtime_error &e) {
+        *caught = std::string(e.what()) == "boom";
+    }
+}
+
+TEST(Task, ExceptionsPropagateThroughAwait)
+{
+    Simulation sim;
+    bool caught = false;
+    sim.spawn(catcher(sim, &caught));
+    sim.run();
+    EXPECT_TRUE(caught);
+}
+
+Task<>
+synchronous(int *out)
+{
+    *out = 7;
+    co_return;
+}
+
+TEST(Task, SpawnRunsEagerlyUntilFirstSuspend)
+{
+    Simulation sim;
+    int out = 0;
+    sim.spawn(synchronous(&out));
+    // No sim.run() needed: the task never suspended.
+    EXPECT_EQ(out, 7);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(Task, UnstartedTaskIsDestroyedCleanly)
+{
+    Simulation sim;
+    int out = 0;
+    {
+        Task<> t = synchronous(&out);
+        EXPECT_TRUE(t.valid());
+        // dropped without starting
+    }
+    EXPECT_EQ(out, 0);
+}
+
+Task<>
+spawnerChain(Simulation &sim, int depth, int *count)
+{
+    ++*count;
+    if (depth > 0) {
+        co_await sim.delay(1_us);
+        sim.spawn(spawnerChain(sim, depth - 1, count));
+    }
+}
+
+TEST(Task, TasksCanSpawnTasks)
+{
+    Simulation sim;
+    int count = 0;
+    sim.spawn(spawnerChain(sim, 10, &count));
+    sim.run();
+    EXPECT_EQ(count, 11);
+    EXPECT_EQ(sim.now(), 10_us);
+}
+
+TEST(Simulation, RunUntilStopsAtDeadline)
+{
+    Simulation sim;
+    std::vector<SimTime> log;
+    sim.spawn(sleeper(sim, 10_us, &log));
+    sim.spawn(sleeper(sim, 100_us, &log));
+    sim.runUntil(50_us);
+    EXPECT_EQ(log.size(), 1u);
+    EXPECT_EQ(sim.now(), 50_us);
+    sim.run();
+    EXPECT_EQ(log.size(), 2u);
+    EXPECT_EQ(sim.now(), 100_us);
+}
+
+TEST(Simulation, ScheduleAndCancel)
+{
+    Simulation sim;
+    int fired = 0;
+    auto id = sim.schedule(5_us, [&] { ++fired; });
+    sim.schedule(6_us, [&] { ++fired; });
+    EXPECT_TRUE(sim.cancel(id));
+    sim.run();
+    EXPECT_EQ(fired, 1);
+}
+
+} // namespace

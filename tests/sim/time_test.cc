@@ -1,0 +1,68 @@
+/** @file Unit tests for SimTime arithmetic and formatting. */
+
+#include <gtest/gtest.h>
+
+#include "sim/time.hh"
+
+namespace {
+
+using molecule::sim::SimTime;
+using namespace molecule::sim::literals;
+
+TEST(SimTime, LiteralsProduceNanoseconds)
+{
+    EXPECT_EQ((5_ns).raw(), 5);
+    EXPECT_EQ((5_us).raw(), 5000);
+    EXPECT_EQ((5_ms).raw(), 5000000);
+    EXPECT_EQ((5_s).raw(), 5000000000LL);
+}
+
+TEST(SimTime, FractionalFactories)
+{
+    EXPECT_EQ(SimTime::fromMicroseconds(2.5).raw(), 2500);
+    EXPECT_EQ(SimTime::fromMilliseconds(0.001).raw(), 1000);
+    EXPECT_EQ(SimTime::fromSeconds(1e-9).raw(), 1);
+}
+
+TEST(SimTime, Arithmetic)
+{
+    EXPECT_EQ(1_ms + 500_us, SimTime::fromMilliseconds(1.5));
+    EXPECT_EQ(1_ms - 1_ms, 0_ns);
+    EXPECT_EQ((2_us) * 3.0, 6_us);
+    EXPECT_EQ((6_us) / 3.0, 2_us);
+
+    SimTime t = 1_us;
+    t += 1_us;
+    t -= 500_ns;
+    EXPECT_EQ(t.raw(), 1500);
+}
+
+TEST(SimTime, Comparisons)
+{
+    EXPECT_LT(1_us, 2_us);
+    EXPECT_LE(1_us, 1_us);
+    EXPECT_GT(1_ms, 999_us);
+    EXPECT_EQ(1000_ns, 1_us);
+}
+
+TEST(SimTime, Conversions)
+{
+    EXPECT_DOUBLE_EQ((1500_ns).toMicroseconds(), 1.5);
+    EXPECT_DOUBLE_EQ((2500_us).toMilliseconds(), 2.5);
+    EXPECT_DOUBLE_EQ((1500_ms).toSeconds(), 1.5);
+}
+
+TEST(SimTime, ToStringSelectsUnit)
+{
+    EXPECT_EQ((500_ns).toString(), "500.00ns");
+    EXPECT_EQ((25_us).toString(), "25.00us");
+    EXPECT_EQ((53_ms).toString(), "53.00ms");
+    EXPECT_EQ((20_s).toString(), "20.00s");
+}
+
+TEST(SimTime, MaxActsAsInfiniteDeadline)
+{
+    EXPECT_GT(SimTime::max(), 1000000_s);
+}
+
+} // namespace

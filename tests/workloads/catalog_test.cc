@@ -1,0 +1,127 @@
+/** @file Unit tests for the workload catalog calibration. */
+
+#include <gtest/gtest.h>
+
+#include "hw/calibration.hh"
+#include "workloads/catalog.hh"
+
+namespace {
+
+namespace calib = molecule::hw::calib;
+using molecule::sandbox::Language;
+using molecule::workloads::Catalog;
+
+TEST(Catalog, FunctionBenchIsComplete)
+{
+    Catalog c;
+    const auto names = Catalog::functionBenchNames();
+    EXPECT_EQ(names.size(), 8u);
+    for (const auto &name : names) {
+        ASSERT_TRUE(c.hasCpu(name)) << name;
+        const auto &w = c.cpu(name);
+        EXPECT_EQ(w.image.funcId, name);
+        EXPECT_GT(w.execCost.raw(), 0);
+        EXPECT_GE(w.coldExecFactor, 1.0);
+        EXPECT_GT(w.image.mem.coldTotal(), 0u);
+    }
+}
+
+TEST(Catalog, ColdStartDecompositionMatchesFig14aLabels)
+{
+    // baseline cold e2e = spawn + container + interpreter + import +
+    // settle + exec * coldFactor; check two anchor labels.
+    Catalog c;
+    auto coldMs = [&](const std::string &name) {
+        const auto &w = c.cpu(name);
+        return (calib::kSpawnProcessCost + calib::kContainerStartCost +
+                calib::kPythonColdStart + w.image.importCost +
+                calib::kInstanceSettleCost +
+                w.execCost * w.coldExecFactor)
+            .toMilliseconds();
+    };
+    EXPECT_NEAR(coldMs("image-resize"), 198.0, 3.0);
+    EXPECT_NEAR(coldMs("matmul"), 298.9, 3.0);
+    EXPECT_NEAR(coldMs("video-processing"), 38254.0, 120.0);
+}
+
+TEST(Catalog, ChainsAreRegistered)
+{
+    Catalog c;
+    for (const auto &fn : Catalog::alexaChain()) {
+        ASSERT_TRUE(c.hasCpu(fn));
+        EXPECT_EQ(c.cpu(fn).image.language, Language::Node);
+    }
+    for (const auto &fn : Catalog::mapReduceChain()) {
+        ASSERT_TRUE(c.hasCpu(fn));
+        EXPECT_EQ(c.cpu(fn).image.language, Language::Python);
+    }
+}
+
+TEST(Catalog, AlexaExecMatchesFig14eLabel)
+{
+    // 5 exec + 5 dispatch + 5 HTTP edges = 38.6 ms baseline.
+    Catalog c;
+    const double exec =
+        5 * c.cpu("alexa-front").execCost.toMilliseconds();
+    const double overhead =
+        5 * (calib::kExpressDispatch + calib::kHttpEdgeEndpointCost +
+             calib::kHttpEdgeEndpointCost)
+                .toMilliseconds();
+    EXPECT_NEAR(exec + overhead, 38.6, 1.0);
+}
+
+TEST(Catalog, FpgaKernelModelsAreMonotone)
+{
+    Catalog c;
+    for (const char *name : {"fpga-gzip", "fpga-aml"}) {
+        const auto &w = c.fpga(name);
+        EXPECT_LT(w.kernelTime(1000).raw(), w.kernelTime(100000).raw());
+        EXPECT_LT(w.cpuTime(1000).raw(), w.cpuTime(100000).raw());
+    }
+}
+
+TEST(Catalog, MatrixKernelsMatchFig2bLabels)
+{
+    Catalog c;
+    EXPECT_DOUBLE_EQ(c.fpga("fpga-mscale").cpuTime(1).toMicroseconds(),
+                     192.0);
+    EXPECT_DOUBLE_EQ(c.fpga("fpga-madd").cpuTime(1).toMicroseconds(),
+                     324.0);
+    EXPECT_DOUBLE_EQ(c.fpga("fpga-vmult").cpuTime(1).toMicroseconds(),
+                     3551.0);
+    // FPGA kernels in the 2.15-2.82x band including overheads
+    // (~38-41 us of dispatch+invoke per call).
+    for (const auto &name : Catalog::matrixKernels()) {
+        const auto &w = c.fpga(name);
+        const double ratio =
+            w.cpuTime(1).toMicroseconds() /
+            (w.kernelTime(1).toMicroseconds() + 38.0);
+        EXPECT_GT(ratio, 2.1);
+        EXPECT_LT(ratio, 2.9);
+    }
+}
+
+TEST(Catalog, Table4SlotsCompose)
+{
+    // 4x (madd + mmult + mscale) + wrapper = Table 4's numbers.
+    Catalog c;
+    molecule::hw::FpgaResources sum =
+        molecule::hw::FpgaResources::wrapperOverhead();
+    for (const auto &name : Catalog::matrixKernels()) {
+        for (int i = 0; i < 4; ++i)
+            sum += c.fpga(name).image.fpgaResources;
+    }
+    EXPECT_NEAR(double(sum.luts), 119517.0, 2.0);
+    EXPECT_EQ(sum.regs, 196996);
+    EXPECT_EQ(sum.brams, 486);
+    EXPECT_EQ(sum.dsps, 787);
+}
+
+TEST(Catalog, UnknownNamesAreFatalButHasIsSafe)
+{
+    Catalog c;
+    EXPECT_FALSE(c.hasCpu("does-not-exist"));
+    EXPECT_DEATH((void)c.cpu("does-not-exist"), "unknown CPU workload");
+}
+
+} // namespace

@@ -1,0 +1,95 @@
+/** @file Unit tests for the Poisson/Zipf trace generator. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workloads/loadgen.hh"
+
+namespace {
+
+using molecule::sim::Rng;
+using molecule::sim::SimTime;
+using molecule::workloads::LoadGenerator;
+using molecule::workloads::TraceEvent;
+
+LoadGenerator::Options
+opts(double rps, double zipf, int seconds)
+{
+    LoadGenerator::Options o;
+    o.requestsPerSecond = rps;
+    o.zipfExponent = zipf;
+    o.duration = SimTime::seconds(seconds);
+    return o;
+}
+
+TEST(LoadGen, ArrivalRateMatches)
+{
+    Rng rng(1);
+    LoadGenerator gen(rng, {"a", "b"}, opts(50, 1.0, 100));
+    const auto trace = gen.generate();
+    // 50 req/s * 100 s = ~5000 events, +-10%.
+    EXPECT_NEAR(double(trace.size()), 5000.0, 500.0);
+}
+
+TEST(LoadGen, EventsAreSortedAndBounded)
+{
+    Rng rng(2);
+    LoadGenerator gen(rng, {"a", "b", "c"}, opts(30, 1.1, 60));
+    const auto trace = gen.generate();
+    ASSERT_FALSE(trace.empty());
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        EXPECT_GE(trace[i].at, trace[i - 1].at);
+    EXPECT_LE(trace.back().at, SimTime::seconds(60));
+    EXPECT_GT(trace.front().at.raw(), 0);
+}
+
+TEST(LoadGen, ZipfSkewsTowardLowRanks)
+{
+    Rng rng(3);
+    std::vector<std::string> fns{"r0", "r1", "r2", "r3", "r4"};
+    LoadGenerator gen(rng, fns, opts(100, 1.5, 100));
+    const auto trace = gen.generate();
+    std::map<std::string, int> counts;
+    for (const auto &ev : trace)
+        ++counts[ev.fn];
+    EXPECT_GT(counts["r0"], counts["r1"]);
+    EXPECT_GT(counts["r1"], counts["r4"]);
+    // Rank-0 share approximates its Zipf weight.
+    double total = 0;
+    for (std::size_t i = 0; i < fns.size(); ++i)
+        total += gen.weight(i);
+    const double expected = gen.weight(0) / total;
+    EXPECT_NEAR(double(counts["r0"]) / double(trace.size()), expected,
+                0.05);
+}
+
+TEST(LoadGen, UniformWhenExponentZero)
+{
+    Rng rng(4);
+    std::vector<std::string> fns{"a", "b", "c", "d"};
+    LoadGenerator gen(rng, fns, opts(100, 0.0, 100));
+    const auto trace = gen.generate();
+    std::map<std::string, int> counts;
+    for (const auto &ev : trace)
+        ++counts[ev.fn];
+    for (const auto &fn : fns)
+        EXPECT_NEAR(double(counts[fn]) / double(trace.size()), 0.25,
+                    0.05);
+}
+
+TEST(LoadGen, DeterministicGivenSeed)
+{
+    Rng r1(9), r2(9);
+    LoadGenerator g1(r1, {"a", "b"}, opts(20, 1.0, 30));
+    LoadGenerator g2(r2, {"a", "b"}, opts(20, 1.0, 30));
+    const auto t1 = g1.generate();
+    const auto t2 = g2.generate();
+    ASSERT_EQ(t1.size(), t2.size());
+    for (std::size_t i = 0; i < t1.size(); ++i) {
+        EXPECT_EQ(t1[i].at, t2[i].at);
+        EXPECT_EQ(t1[i].fn, t2[i].fn);
+    }
+}
+
+} // namespace

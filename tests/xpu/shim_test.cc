@@ -1,0 +1,375 @@
+/** @file Integration tests for XPU-Shim: nIPC, capabilities, xSpawn. */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hw/computer.hh"
+#include "xpu/client.hh"
+#include "xpu/shim.hh"
+
+namespace {
+
+using molecule::hw::buildCpuDpuServer;
+using molecule::hw::Computer;
+using molecule::hw::DpuGeneration;
+using molecule::os::LocalOs;
+using molecule::os::Process;
+using molecule::sim::Simulation;
+using molecule::sim::SimTime;
+using molecule::sim::Task;
+using namespace molecule::sim::literals;
+using namespace molecule::xpu;
+
+/**
+ * Host CPU + 2 BF-1 DPUs, one shim each, one process per PU with an
+ * attached XPUcall client.
+ */
+struct ShimFixture : ::testing::Test
+{
+    Simulation sim;
+    std::unique_ptr<Computer> computer =
+        buildCpuDpuServer(sim, 2, DpuGeneration::Bf1);
+    LocalOs cpuOs{computer->pu(0)};
+    LocalOs dpu1Os{computer->pu(1)};
+    LocalOs dpu2Os{computer->pu(2)};
+    XpuShimNetwork net{*computer};
+    XpuShim *cpuShim = net.addShim(cpuOs, TransportKind::Fifo);
+    XpuShim *dpu1Shim = net.addShim(dpu1Os, TransportKind::MpscPoll);
+    XpuShim *dpu2Shim = net.addShim(dpu2Os, TransportKind::MpscPoll);
+    Process *cpuProc = nullptr;
+    Process *dpu1Proc = nullptr;
+    std::unique_ptr<XpuClient> cpuClient;
+    std::unique_ptr<XpuClient> dpu1Client;
+
+    void
+    SetUp() override
+    {
+        auto boot = [](ShimFixture *f) -> Task<> {
+            f->cpuProc = co_await f->cpuOs.spawnProcess("fn-cpu", 1 << 20);
+            f->dpu1Proc =
+                co_await f->dpu1Os.spawnProcess("fn-dpu", 1 << 20);
+        };
+        sim.spawn(boot(this));
+        sim.run();
+        ASSERT_NE(cpuProc, nullptr);
+        ASSERT_NE(dpu1Proc, nullptr);
+        cpuClient = std::make_unique<XpuClient>(*cpuShim, *cpuProc);
+        dpu1Client = std::make_unique<XpuClient>(*dpu1Shim, *dpu1Proc);
+    }
+};
+
+Task<>
+initFifo(XpuClient &client, std::string uuid, FdResult *out)
+{
+    *out = co_await client.xfifoInit(uuid);
+}
+
+Task<>
+connectFifo(XpuClient &client, std::string uuid, FdResult *out)
+{
+    *out = co_await client.xfifoConnect(uuid);
+}
+
+Task<>
+grantIt(XpuClient &client, XpuPid target, ObjId obj, Perm perm,
+        XpuStatus *out)
+{
+    *out = co_await client.grantCap(target, obj, perm);
+}
+
+TEST_F(ShimFixture, FifoInitRegistersEverywhere)
+{
+    FdResult r;
+    sim.spawn(initFifo(*cpuClient, "self/cpu-fn", &r));
+    sim.run();
+    ASSERT_EQ(r.status, XpuStatus::Ok);
+    EXPECT_GE(r.fd, 3);
+    // Immediate sync: every shim can resolve the uuid locally.
+    EXPECT_NE(cpuShim->caps().findByUuid("self/cpu-fn"), nullptr);
+    EXPECT_NE(dpu1Shim->caps().findByUuid("self/cpu-fn"), nullptr);
+    EXPECT_NE(dpu2Shim->caps().findByUuid("self/cpu-fn"), nullptr);
+    EXPECT_EQ(cpuShim->homedFifoCount(), 1u);
+    EXPECT_EQ(dpu1Shim->homedFifoCount(), 0u);
+}
+
+TEST_F(ShimFixture, DuplicateUuidIsRejected)
+{
+    FdResult a, b;
+    sim.spawn(initFifo(*cpuClient, "dup", &a));
+    sim.run();
+    sim.spawn(initFifo(*dpu1Client, "dup", &b));
+    sim.run();
+    EXPECT_EQ(a.status, XpuStatus::Ok);
+    EXPECT_EQ(b.status, XpuStatus::AlreadyExists);
+}
+
+TEST_F(ShimFixture, ConnectRequiresCapability)
+{
+    FdResult fifo;
+    sim.spawn(initFifo(*cpuClient, "guarded", &fifo));
+    sim.run();
+    ASSERT_EQ(fifo.status, XpuStatus::Ok);
+
+    // Unprivileged remote process cannot connect...
+    FdResult denied;
+    sim.spawn(connectFifo(*dpu1Client, "guarded", &denied));
+    sim.run();
+    EXPECT_EQ(denied.status, XpuStatus::NoPermission);
+
+    // ...until the owner grants it write permission.
+    XpuStatus st{};
+    const ObjId obj = cpuClient->objectOf(fifo.fd);
+    sim.spawn(grantIt(*cpuClient, dpu1Client->xpuPid(), obj, Perm::Write,
+                      &st));
+    sim.run();
+    EXPECT_EQ(st, XpuStatus::Ok);
+
+    FdResult ok;
+    sim.spawn(connectFifo(*dpu1Client, "guarded", &ok));
+    sim.run();
+    EXPECT_EQ(ok.status, XpuStatus::Ok);
+}
+
+TEST_F(ShimFixture, GrantRequiresOwner)
+{
+    FdResult fifo;
+    sim.spawn(initFifo(*cpuClient, "owned", &fifo));
+    sim.run();
+    const ObjId obj = cpuClient->objectOf(fifo.fd);
+
+    // dpu1 has no owner bit: granting to itself must fail.
+    XpuStatus st{};
+    sim.spawn(grantIt(*dpu1Client, dpu1Client->xpuPid(), obj, Perm::Read,
+                      &st));
+    sim.run();
+    EXPECT_EQ(st, XpuStatus::NoPermission);
+}
+
+TEST_F(ShimFixture, RevokedPermissionStopsConnects)
+{
+    FdResult fifo;
+    sim.spawn(initFifo(*cpuClient, "revocable", &fifo));
+    sim.run();
+    const ObjId obj = cpuClient->objectOf(fifo.fd);
+    XpuStatus st{};
+    sim.spawn(grantIt(*cpuClient, dpu1Client->xpuPid(), obj, Perm::Read,
+                      &st));
+    sim.run();
+
+    auto revokeIt = [](XpuClient &c, XpuPid t, ObjId o,
+                       XpuStatus *out) -> Task<> {
+        *out = co_await c.revokeCap(t, o, Perm::Read);
+    };
+    sim.spawn(revokeIt(*cpuClient, dpu1Client->xpuPid(), obj, &st));
+    sim.run();
+    EXPECT_EQ(st, XpuStatus::Ok);
+
+    FdResult denied;
+    sim.spawn(connectFifo(*dpu1Client, "revocable", &denied));
+    sim.run();
+    EXPECT_EQ(denied.status, XpuStatus::NoPermission);
+}
+
+struct NipcResult
+{
+    XpuStatus writeStatus = XpuStatus::Ok;
+    SimTime writeLatency;
+    molecule::os::FifoMessage received;
+};
+
+Task<>
+nipcWriter(XpuClient &client, std::string uuid, std::uint64_t bytes,
+           NipcResult *out, Simulation &sim)
+{
+    FdResult fd = co_await client.xfifoConnect(uuid);
+    const SimTime start = sim.now();
+    out->writeStatus = co_await client.xfifoWrite(fd.fd, bytes, "req");
+    out->writeLatency = sim.now() - start;
+}
+
+Task<>
+nipcReader(XpuClient &client, std::string uuid, NipcResult *out)
+{
+    FdResult fd = co_await client.xfifoInit(uuid);
+    ReadResult r = co_await client.xfifoRead(fd.fd);
+    out->received = r.msg;
+}
+
+TEST_F(ShimFixture, CrossPuWriteDeliversAndLandsInPaperBand)
+{
+    // DPU caller writes a CPU-homed fifo (the Fig 8 measurement).
+    NipcResult res;
+    sim.spawn(nipcReader(*cpuClient, "nipc", &res));
+    sim.run();
+    XpuStatus st{};
+    const ObjId obj = cpuShim->caps().findByUuid("nipc")->id;
+    sim.spawn(grantIt(*cpuClient, dpu1Client->xpuPid(), obj, Perm::Write,
+                      &st));
+    sim.run();
+    sim.spawn(nipcWriter(*dpu1Client, "nipc", 64, &res, sim));
+    sim.run();
+    EXPECT_EQ(res.writeStatus, XpuStatus::Ok);
+    EXPECT_EQ(res.received.bytes, 64u);
+    EXPECT_EQ(res.received.tag, "req");
+    // nIPC-Poll on BF-1: ~25 us (§6.1).
+    EXPECT_GT(res.writeLatency.toMicroseconds(), 12.0);
+    EXPECT_LT(res.writeLatency.toMicroseconds(), 45.0);
+}
+
+TEST_F(ShimFixture, TransportsOrderAsInFig8)
+{
+    // Base (FIFO) > MPSC > Poll on the same write path.
+    auto measure = [&](TransportKind kind) {
+        dpu1Shim->setTransport(kind);
+        static int counter = 0;
+        std::string uuid = "fig8-" + std::to_string(counter++);
+        NipcResult res;
+        sim.spawn(nipcReader(*cpuClient, uuid, &res));
+        sim.run();
+        XpuStatus st{};
+        const ObjId obj = cpuShim->caps().findByUuid(uuid)->id;
+        sim.spawn(grantIt(*cpuClient, dpu1Client->xpuPid(), obj,
+                          Perm::Write, &st));
+        sim.run();
+        sim.spawn(nipcWriter(*dpu1Client, uuid, 512, &res, sim));
+        sim.run();
+        return res.writeLatency;
+    };
+    const auto base = measure(TransportKind::Fifo);
+    const auto mpsc = measure(TransportKind::Mpsc);
+    const auto poll = measure(TransportKind::MpscPoll);
+    EXPECT_GT(base, mpsc);
+    EXPECT_GT(mpsc, poll);
+    // Fig 8: base lands in the ~100-250 us band on BF-1.
+    EXPECT_GT(base.toMicroseconds(), 80.0);
+    EXPECT_LT(base.toMicroseconds(), 260.0);
+}
+
+TEST_F(ShimFixture, WriteWithoutCapabilityIsDenied)
+{
+    NipcResult res;
+    sim.spawn(nipcReader(*cpuClient, "locked", &res));
+    sim.run();
+    // No grant: the connect inside nipcWriter fails, then the write on
+    // the invalid fd reports InvalidArgument.
+    sim.spawn(nipcWriter(*dpu1Client, "locked", 64, &res, sim));
+    sim.run();
+    EXPECT_EQ(res.writeStatus, XpuStatus::InvalidArgument);
+}
+
+TEST_F(ShimFixture, CloseReclaimsLazily)
+{
+    FdResult fifo;
+    sim.spawn(initFifo(*cpuClient, "transient", &fifo));
+    sim.run();
+    EXPECT_EQ(cpuShim->homedFifoCount(), 1u);
+
+    auto closeIt = [](XpuClient &c, XpuFd fd, XpuStatus *out) -> Task<> {
+        *out = co_await c.xfifoClose(fd);
+    };
+    XpuStatus st{};
+    sim.spawn(closeIt(*cpuClient, fifo.fd, &st));
+    sim.run();
+    EXPECT_EQ(st, XpuStatus::Ok);
+    // Backing queue reclaimed immediately on the home PU...
+    EXPECT_EQ(cpuShim->homedFifoCount(), 0u);
+    // ...but remote replicas are updated lazily (batched).
+    EXPECT_NE(dpu1Shim->caps().findByUuid("transient"), nullptr);
+    EXPECT_EQ(cpuShim->lazyQueueDepth(), 1u);
+
+    auto flushIt = [](XpuShim *s) -> Task<> { co_await s->flushLazy(); };
+    sim.spawn(flushIt(cpuShim));
+    sim.run();
+    EXPECT_EQ(dpu1Shim->caps().findByUuid("transient"), nullptr);
+    EXPECT_EQ(cpuShim->lazyQueueDepth(), 0u);
+}
+
+TEST_F(ShimFixture, XspawnStartsProcessOnTargetPu)
+{
+    bool hookRan = false;
+    Process *spawned = nullptr;
+    net.registerProgram("executor",
+                        [&](XpuShim &shim, Process &proc) {
+                            hookRan = true;
+                            spawned = &proc;
+                            EXPECT_EQ(shim.puId(), 2);
+                        });
+    SpawnCallResult r;
+    auto spawnIt = [](XpuClient &c, SpawnCallResult *out) -> Task<> {
+        std::vector<CapGrant> capv;
+        *out = co_await c.xspawn(2, "executor", capv);
+    };
+    sim.spawn(spawnIt(*cpuClient, &r));
+    sim.run();
+    ASSERT_EQ(r.status, XpuStatus::Ok);
+    EXPECT_EQ(r.pid.pu, 2);
+    EXPECT_TRUE(hookRan);
+    ASSERT_NE(spawned, nullptr);
+    EXPECT_EQ(spawned->name(), "executor");
+    EXPECT_EQ(dpu2Os.findProcess(r.pid.local), spawned);
+}
+
+TEST_F(ShimFixture, XspawnGrantsCapvExplicitly)
+{
+    FdResult fifo;
+    sim.spawn(initFifo(*cpuClient, "for-child", &fifo));
+    sim.run();
+    const ObjId obj = cpuClient->objectOf(fifo.fd);
+
+    SpawnCallResult r;
+    auto spawnIt = [](XpuClient &c, ObjId o,
+                      SpawnCallResult *out) -> Task<> {
+        std::vector<CapGrant> capv{CapGrant{o, Perm::Write}};
+        *out = co_await c.xspawn(1, "worker", capv);
+    };
+    sim.spawn(spawnIt(*cpuClient, obj, &r));
+    sim.run();
+    ASSERT_EQ(r.status, XpuStatus::Ok);
+    // The child received exactly the capv permissions, visible on
+    // every shim (immediate sync), and nothing else.
+    EXPECT_TRUE(dpu1Shim->caps().check(r.pid, obj, Perm::Write));
+    EXPECT_TRUE(cpuShim->caps().check(r.pid, obj, Perm::Write));
+    EXPECT_FALSE(dpu1Shim->caps().check(r.pid, obj, Perm::Read));
+}
+
+TEST_F(ShimFixture, XspawnToUnknownPuFails)
+{
+    SpawnCallResult r;
+    auto spawnIt = [](XpuClient &c, SpawnCallResult *out) -> Task<> {
+        std::vector<CapGrant> capv;
+        *out = co_await c.xspawn(9, "nothing", capv);
+    };
+    sim.spawn(spawnIt(*cpuClient, &r));
+    sim.run();
+    EXPECT_EQ(r.status, XpuStatus::NotFound);
+}
+
+TEST_F(ShimFixture, SameUuidNamespaceAcrossPus)
+{
+    // A fifo initialized on the DPU is connectable from the CPU after
+    // a grant: full symmetry of the nIPC path.
+    FdResult fifo;
+    sim.spawn(initFifo(*dpu1Client, "dpu-home", &fifo));
+    sim.run();
+    ASSERT_EQ(fifo.status, XpuStatus::Ok);
+    EXPECT_EQ(dpu1Shim->homedFifoCount(), 1u);
+
+    XpuStatus st{};
+    const ObjId obj = dpu1Client->objectOf(fifo.fd);
+    sim.spawn(grantIt(*dpu1Client, cpuClient->xpuPid(), obj, Perm::Write,
+                      &st));
+    sim.run();
+
+    NipcResult res;
+    auto readIt = [](XpuClient &c, XpuFd fd, NipcResult *out) -> Task<> {
+        ReadResult r = co_await c.xfifoRead(fd);
+        out->received = r.msg;
+    };
+    sim.spawn(readIt(*dpu1Client, fifo.fd, &res));
+    sim.spawn(nipcWriter(*cpuClient, "dpu-home", 128, &res, sim));
+    sim.run();
+    EXPECT_EQ(res.received.bytes, 128u);
+}
+
+} // namespace

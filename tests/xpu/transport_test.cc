@@ -1,0 +1,94 @@
+/** @file Unit tests for the XPUcall transport cost models (Fig 7). */
+
+#include <gtest/gtest.h>
+
+#include "hw/calibration.hh"
+#include "hw/pu.hh"
+#include "xpu/transport.hh"
+
+namespace {
+
+namespace calib = molecule::hw::calib;
+using molecule::hw::bluefield1Descriptor;
+using molecule::hw::ProcessingUnit;
+using molecule::hw::xeon8160Descriptor;
+using molecule::sim::Simulation;
+using molecule::xpu::Transport;
+using molecule::xpu::TransportKind;
+
+struct TransportFixture : ::testing::Test
+{
+    Simulation sim;
+    ProcessingUnit cpu{sim, 0, xeon8160Descriptor()};
+    ProcessingUnit dpu{sim, 1, bluefield1Descriptor(0)};
+};
+
+TEST_F(TransportFixture, FifoRoundTripIsTwoIpcs)
+{
+    // Fig 7-a: request and response each cost a full FIFO one-way.
+    Transport t(TransportKind::Fifo);
+    const auto req = t.requestCost(dpu, 64);
+    const auto res = t.responseCost(dpu, 64);
+    EXPECT_EQ(req, res);
+    // ~2 syscalls + wakeup at BF-1 speed: tens of microseconds.
+    EXPECT_GT(req.toMicroseconds(), 30.0);
+}
+
+TEST_F(TransportFixture, MpscRemovesTheRequestIpc)
+{
+    Transport fifo(TransportKind::Fifo);
+    Transport mpsc(TransportKind::Mpsc);
+    EXPECT_LT(mpsc.requestCost(dpu, 64), fifo.requestCost(dpu, 64));
+    // Responses still go through the FIFO (Fig 7-b).
+    EXPECT_EQ(mpsc.responseCost(dpu, 64), fifo.responseCost(dpu, 64));
+}
+
+TEST_F(TransportFixture, PollingRemovesTheResponseIpcToo)
+{
+    Transport mpsc(TransportKind::Mpsc);
+    Transport poll(TransportKind::MpscPoll);
+    EXPECT_EQ(poll.requestCost(dpu, 64), mpsc.requestCost(dpu, 64));
+    EXPECT_LT(poll.responseCost(dpu, 64), mpsc.responseCost(dpu, 64));
+    // Shared-memory polling response: single-digit microseconds.
+    EXPECT_LT(poll.responseCost(dpu, 64).toMicroseconds(), 10.0);
+}
+
+TEST_F(TransportFixture, CpuXpucallIsCheapEnoughToSkipOptimizing)
+{
+    // §5: "about 20 us" for the naive XPUcall on the host CPU, which
+    // is why the paper leaves the CPU on the FIFO transport.
+    Transport fifo(TransportKind::Fifo);
+    const auto total = fifo.requestCost(cpu, 64) +
+                       calib::kShimHandleCost +
+                       fifo.responseCost(cpu, 64);
+    EXPECT_GT(total.toMicroseconds(), 10.0);
+    EXPECT_LT(total.toMicroseconds(), 30.0);
+}
+
+TEST_F(TransportFixture, DpuNaiveXpucallCostsAbout100us)
+{
+    // §5: "100 us in our Bluefield-1 DPU" for the two-IPC XPUcall.
+    Transport fifo(TransportKind::Fifo);
+    const auto total = fifo.requestCost(dpu, 64) +
+                       dpu.swCost(calib::kShimHandleCost) +
+                       fifo.responseCost(dpu, 64);
+    EXPECT_NEAR(total.toMicroseconds(), 100.0, 25.0);
+}
+
+TEST_F(TransportFixture, OnlyFifoPathScalesWithMessageSize)
+{
+    Transport fifo(TransportKind::Fifo);
+    Transport poll(TransportKind::MpscPoll);
+    EXPECT_GT(fifo.requestCost(dpu, 4096), fifo.requestCost(dpu, 16));
+    // MPSC entries only name the caller; bulk rides shared memory.
+    EXPECT_EQ(poll.requestCost(dpu, 4096), poll.requestCost(dpu, 16));
+}
+
+TEST(TransportNames, ToStringMatchesFig8Legend)
+{
+    EXPECT_STREQ(toString(TransportKind::Fifo), "nIPC-Base");
+    EXPECT_STREQ(toString(TransportKind::Mpsc), "nIPC-MPSC");
+    EXPECT_STREQ(toString(TransportKind::MpscPoll), "nIPC-Poll");
+}
+
+} // namespace
