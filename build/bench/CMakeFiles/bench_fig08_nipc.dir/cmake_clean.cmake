@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_nipc.dir/bench_fig08_nipc.cc.o"
+  "CMakeFiles/bench_fig08_nipc.dir/bench_fig08_nipc.cc.o.d"
+  "bench_fig08_nipc"
+  "bench_fig08_nipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_nipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_commercial.dir/bench_fig09_commercial.cc.o"
+  "CMakeFiles/bench_fig09_commercial.dir/bench_fig09_commercial.cc.o.d"
+  "bench_fig09_commercial"
+  "bench_fig09_commercial.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_commercial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_startup.dir/bench_fig10_startup.cc.o"
+  "CMakeFiles/bench_fig10_startup.dir/bench_fig10_startup.cc.o.d"
+  "bench_fig10_startup"
+  "bench_fig10_startup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_startup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_cfork.dir/bench_fig11_cfork.cc.o"
+  "CMakeFiles/bench_fig11_cfork.dir/bench_fig11_cfork.cc.o.d"
+  "bench_fig11_cfork"
+  "bench_fig11_cfork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_cfork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

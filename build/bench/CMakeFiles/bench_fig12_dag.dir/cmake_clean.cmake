@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_dag.dir/bench_fig12_dag.cc.o"
+  "CMakeFiles/bench_fig12_dag.dir/bench_fig12_dag.cc.o.d"
+  "bench_fig12_dag"
+  "bench_fig12_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_fpga_chain.dir/bench_fig13_fpga_chain.cc.o"
+  "CMakeFiles/bench_fig13_fpga_chain.dir/bench_fig13_fpga_chain.cc.o.d"
+  "bench_fig13_fpga_chain"
+  "bench_fig13_fpga_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_fpga_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14a_functionbench.dir/bench_fig14a_functionbench.cc.o"
+  "CMakeFiles/bench_fig14a_functionbench.dir/bench_fig14a_functionbench.cc.o.d"
+  "bench_fig14a_functionbench"
+  "bench_fig14a_functionbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14a_functionbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14e_chained.dir/bench_fig14e_chained.cc.o"
+  "CMakeFiles/bench_fig14e_chained.dir/bench_fig14e_chained.cc.o.d"
+  "bench_fig14e_chained"
+  "bench_fig14e_chained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14e_chained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14f_gzip.dir/bench_fig14f_gzip.cc.o"
+  "CMakeFiles/bench_fig14f_gzip.dir/bench_fig14f_gzip.cc.o.d"
+  "bench_fig14f_gzip"
+  "bench_fig14f_gzip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14f_gzip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

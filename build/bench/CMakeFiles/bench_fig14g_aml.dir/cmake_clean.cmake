@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14g_aml.dir/bench_fig14g_aml.cc.o"
+  "CMakeFiles/bench_fig14g_aml.dir/bench_fig14g_aml.cc.o.d"
+  "bench_fig14g_aml"
+  "bench_fig14g_aml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14g_aml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14h_matrix_app.dir/bench_fig14h_matrix_app.cc.o"
+  "CMakeFiles/bench_fig14h_matrix_app.dir/bench_fig14h_matrix_app.cc.o.d"
+  "bench_fig14h_matrix_app"
+  "bench_fig14h_matrix_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14h_matrix_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

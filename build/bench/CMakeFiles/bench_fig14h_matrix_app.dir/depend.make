@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14h_matrix_app.
+# This may be replaced when dependencies are built.

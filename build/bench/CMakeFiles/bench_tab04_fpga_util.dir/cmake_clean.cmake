@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab04_fpga_util.dir/bench_tab04_fpga_util.cc.o"
+  "CMakeFiles/bench_tab04_fpga_util.dir/bench_tab04_fpga_util.cc.o.d"
+  "bench_tab04_fpga_util"
+  "bench_tab04_fpga_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab04_fpga_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab05_generality.dir/bench_tab05_generality.cc.o"
+  "CMakeFiles/bench_tab05_generality.dir/bench_tab05_generality.cc.o.d"
+  "bench_tab05_generality"
+  "bench_tab05_generality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab05_generality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/density_scaling.dir/density_scaling.cpp.o"
+  "CMakeFiles/density_scaling.dir/density_scaling.cpp.o.d"
+  "density_scaling"
+  "density_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/density_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_offload.dir/fpga_offload.cpp.o"
+  "CMakeFiles/fpga_offload.dir/fpga_offload.cpp.o.d"
+  "fpga_offload"
+  "fpga_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_inference.dir/gpu_inference.cpp.o"
+  "CMakeFiles/gpu_inference.dir/gpu_inference.cpp.o.d"
+  "gpu_inference"
+  "gpu_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_pipeline.dir/hetero_pipeline.cpp.o"
+  "CMakeFiles/hetero_pipeline.dir/hetero_pipeline.cpp.o.d"
+  "hetero_pipeline"
+  "hetero_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

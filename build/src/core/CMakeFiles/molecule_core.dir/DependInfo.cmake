@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dag.cc" "src/core/CMakeFiles/molecule_core.dir/dag.cc.o" "gcc" "src/core/CMakeFiles/molecule_core.dir/dag.cc.o.d"
+  "/root/repo/src/core/deployment.cc" "src/core/CMakeFiles/molecule_core.dir/deployment.cc.o" "gcc" "src/core/CMakeFiles/molecule_core.dir/deployment.cc.o.d"
+  "/root/repo/src/core/function.cc" "src/core/CMakeFiles/molecule_core.dir/function.cc.o" "gcc" "src/core/CMakeFiles/molecule_core.dir/function.cc.o.d"
+  "/root/repo/src/core/gateway.cc" "src/core/CMakeFiles/molecule_core.dir/gateway.cc.o" "gcc" "src/core/CMakeFiles/molecule_core.dir/gateway.cc.o.d"
+  "/root/repo/src/core/molecule.cc" "src/core/CMakeFiles/molecule_core.dir/molecule.cc.o" "gcc" "src/core/CMakeFiles/molecule_core.dir/molecule.cc.o.d"
+  "/root/repo/src/core/scheduler.cc" "src/core/CMakeFiles/molecule_core.dir/scheduler.cc.o" "gcc" "src/core/CMakeFiles/molecule_core.dir/scheduler.cc.o.d"
+  "/root/repo/src/core/startup.cc" "src/core/CMakeFiles/molecule_core.dir/startup.cc.o" "gcc" "src/core/CMakeFiles/molecule_core.dir/startup.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sandbox/CMakeFiles/molecule_sandbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/molecule_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpu/CMakeFiles/molecule_xpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/molecule_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/molecule_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/molecule_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecule_core.dir/dag.cc.o"
+  "CMakeFiles/molecule_core.dir/dag.cc.o.d"
+  "CMakeFiles/molecule_core.dir/deployment.cc.o"
+  "CMakeFiles/molecule_core.dir/deployment.cc.o.d"
+  "CMakeFiles/molecule_core.dir/function.cc.o"
+  "CMakeFiles/molecule_core.dir/function.cc.o.d"
+  "CMakeFiles/molecule_core.dir/gateway.cc.o"
+  "CMakeFiles/molecule_core.dir/gateway.cc.o.d"
+  "CMakeFiles/molecule_core.dir/molecule.cc.o"
+  "CMakeFiles/molecule_core.dir/molecule.cc.o.d"
+  "CMakeFiles/molecule_core.dir/scheduler.cc.o"
+  "CMakeFiles/molecule_core.dir/scheduler.cc.o.d"
+  "CMakeFiles/molecule_core.dir/startup.cc.o"
+  "CMakeFiles/molecule_core.dir/startup.cc.o.d"
+  "libmolecule_core.a"
+  "libmolecule_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecule_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecule_hw.dir/computer.cc.o"
+  "CMakeFiles/molecule_hw.dir/computer.cc.o.d"
+  "CMakeFiles/molecule_hw.dir/fpga.cc.o"
+  "CMakeFiles/molecule_hw.dir/fpga.cc.o.d"
+  "CMakeFiles/molecule_hw.dir/gpu.cc.o"
+  "CMakeFiles/molecule_hw.dir/gpu.cc.o.d"
+  "CMakeFiles/molecule_hw.dir/interconnect.cc.o"
+  "CMakeFiles/molecule_hw.dir/interconnect.cc.o.d"
+  "CMakeFiles/molecule_hw.dir/pu.cc.o"
+  "CMakeFiles/molecule_hw.dir/pu.cc.o.d"
+  "libmolecule_hw.a"
+  "libmolecule_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecule_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecule_os.dir/container.cc.o"
+  "CMakeFiles/molecule_os.dir/container.cc.o.d"
+  "CMakeFiles/molecule_os.dir/fifo.cc.o"
+  "CMakeFiles/molecule_os.dir/fifo.cc.o.d"
+  "CMakeFiles/molecule_os.dir/kernel.cc.o"
+  "CMakeFiles/molecule_os.dir/kernel.cc.o.d"
+  "CMakeFiles/molecule_os.dir/memory.cc.o"
+  "CMakeFiles/molecule_os.dir/memory.cc.o.d"
+  "libmolecule_os.a"
+  "libmolecule_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecule_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sandbox/oci.cc" "src/sandbox/CMakeFiles/molecule_sandbox.dir/oci.cc.o" "gcc" "src/sandbox/CMakeFiles/molecule_sandbox.dir/oci.cc.o.d"
+  "/root/repo/src/sandbox/runc.cc" "src/sandbox/CMakeFiles/molecule_sandbox.dir/runc.cc.o" "gcc" "src/sandbox/CMakeFiles/molecule_sandbox.dir/runc.cc.o.d"
+  "/root/repo/src/sandbox/runf.cc" "src/sandbox/CMakeFiles/molecule_sandbox.dir/runf.cc.o" "gcc" "src/sandbox/CMakeFiles/molecule_sandbox.dir/runf.cc.o.d"
+  "/root/repo/src/sandbox/rung.cc" "src/sandbox/CMakeFiles/molecule_sandbox.dir/rung.cc.o" "gcc" "src/sandbox/CMakeFiles/molecule_sandbox.dir/rung.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/molecule_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/molecule_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/molecule_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecule_sandbox.dir/oci.cc.o"
+  "CMakeFiles/molecule_sandbox.dir/oci.cc.o.d"
+  "CMakeFiles/molecule_sandbox.dir/runc.cc.o"
+  "CMakeFiles/molecule_sandbox.dir/runc.cc.o.d"
+  "CMakeFiles/molecule_sandbox.dir/runf.cc.o"
+  "CMakeFiles/molecule_sandbox.dir/runf.cc.o.d"
+  "CMakeFiles/molecule_sandbox.dir/rung.cc.o"
+  "CMakeFiles/molecule_sandbox.dir/rung.cc.o.d"
+  "libmolecule_sandbox.a"
+  "libmolecule_sandbox.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecule_sandbox.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecule_sim.dir/event_queue.cc.o"
+  "CMakeFiles/molecule_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/molecule_sim.dir/logging.cc.o"
+  "CMakeFiles/molecule_sim.dir/logging.cc.o.d"
+  "CMakeFiles/molecule_sim.dir/random.cc.o"
+  "CMakeFiles/molecule_sim.dir/random.cc.o.d"
+  "CMakeFiles/molecule_sim.dir/simulation.cc.o"
+  "CMakeFiles/molecule_sim.dir/simulation.cc.o.d"
+  "CMakeFiles/molecule_sim.dir/stats.cc.o"
+  "CMakeFiles/molecule_sim.dir/stats.cc.o.d"
+  "CMakeFiles/molecule_sim.dir/table.cc.o"
+  "CMakeFiles/molecule_sim.dir/table.cc.o.d"
+  "libmolecule_sim.a"
+  "libmolecule_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecule_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

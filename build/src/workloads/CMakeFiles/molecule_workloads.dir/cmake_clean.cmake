@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecule_workloads.dir/catalog.cc.o"
+  "CMakeFiles/molecule_workloads.dir/catalog.cc.o.d"
+  "CMakeFiles/molecule_workloads.dir/loadgen.cc.o"
+  "CMakeFiles/molecule_workloads.dir/loadgen.cc.o.d"
+  "libmolecule_workloads.a"
+  "libmolecule_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecule_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

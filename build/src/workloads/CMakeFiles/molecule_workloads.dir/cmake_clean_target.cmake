@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmolecule_workloads.a"
+)

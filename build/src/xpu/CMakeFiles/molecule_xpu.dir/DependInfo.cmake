@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xpu/capability.cc" "src/xpu/CMakeFiles/molecule_xpu.dir/capability.cc.o" "gcc" "src/xpu/CMakeFiles/molecule_xpu.dir/capability.cc.o.d"
+  "/root/repo/src/xpu/client.cc" "src/xpu/CMakeFiles/molecule_xpu.dir/client.cc.o" "gcc" "src/xpu/CMakeFiles/molecule_xpu.dir/client.cc.o.d"
+  "/root/repo/src/xpu/shim.cc" "src/xpu/CMakeFiles/molecule_xpu.dir/shim.cc.o" "gcc" "src/xpu/CMakeFiles/molecule_xpu.dir/shim.cc.o.d"
+  "/root/repo/src/xpu/transport.cc" "src/xpu/CMakeFiles/molecule_xpu.dir/transport.cc.o" "gcc" "src/xpu/CMakeFiles/molecule_xpu.dir/transport.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/molecule_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/molecule_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/molecule_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

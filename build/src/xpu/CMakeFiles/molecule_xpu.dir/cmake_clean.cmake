@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/molecule_xpu.dir/capability.cc.o"
+  "CMakeFiles/molecule_xpu.dir/capability.cc.o.d"
+  "CMakeFiles/molecule_xpu.dir/client.cc.o"
+  "CMakeFiles/molecule_xpu.dir/client.cc.o.d"
+  "CMakeFiles/molecule_xpu.dir/shim.cc.o"
+  "CMakeFiles/molecule_xpu.dir/shim.cc.o.d"
+  "CMakeFiles/molecule_xpu.dir/transport.cc.o"
+  "CMakeFiles/molecule_xpu.dir/transport.cc.o.d"
+  "libmolecule_xpu.a"
+  "libmolecule_xpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/molecule_xpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/dag_test.cc" "tests/CMakeFiles/core_dag_test.dir/core/dag_test.cc.o" "gcc" "tests/CMakeFiles/core_dag_test.dir/core/dag_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/molecule_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/molecule_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/sandbox/CMakeFiles/molecule_sandbox.dir/DependInfo.cmake"
+  "/root/repo/build/src/xpu/CMakeFiles/molecule_xpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/molecule_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/molecule_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/molecule_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_dag_test.dir/core/dag_test.cc.o"
+  "CMakeFiles/core_dag_test.dir/core/dag_test.cc.o.d"
+  "core_dag_test"
+  "core_dag_test.pdb"
+  "core_dag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_dag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_deployment_test.dir/core/deployment_test.cc.o"
+  "CMakeFiles/core_deployment_test.dir/core/deployment_test.cc.o.d"
+  "core_deployment_test"
+  "core_deployment_test.pdb"
+  "core_deployment_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_deployment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

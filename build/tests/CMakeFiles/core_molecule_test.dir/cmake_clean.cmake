@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_molecule_test.dir/core/molecule_test.cc.o"
+  "CMakeFiles/core_molecule_test.dir/core/molecule_test.cc.o.d"
+  "core_molecule_test"
+  "core_molecule_test.pdb"
+  "core_molecule_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_molecule_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

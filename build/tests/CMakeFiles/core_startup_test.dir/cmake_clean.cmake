@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_startup_test.dir/core/startup_test.cc.o"
+  "CMakeFiles/core_startup_test.dir/core/startup_test.cc.o.d"
+  "core_startup_test"
+  "core_startup_test.pdb"
+  "core_startup_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_startup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_fpga_test.dir/hw/fpga_test.cc.o"
+  "CMakeFiles/hw_fpga_test.dir/hw/fpga_test.cc.o.d"
+  "hw_fpga_test"
+  "hw_fpga_test.pdb"
+  "hw_fpga_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_fpga_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

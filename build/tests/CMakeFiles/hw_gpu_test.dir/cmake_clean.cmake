@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_gpu_test.dir/hw/gpu_test.cc.o"
+  "CMakeFiles/hw_gpu_test.dir/hw/gpu_test.cc.o.d"
+  "hw_gpu_test"
+  "hw_gpu_test.pdb"
+  "hw_gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

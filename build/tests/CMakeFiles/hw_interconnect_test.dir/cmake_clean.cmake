@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_interconnect_test.dir/hw/interconnect_test.cc.o"
+  "CMakeFiles/hw_interconnect_test.dir/hw/interconnect_test.cc.o.d"
+  "hw_interconnect_test"
+  "hw_interconnect_test.pdb"
+  "hw_interconnect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_interconnect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

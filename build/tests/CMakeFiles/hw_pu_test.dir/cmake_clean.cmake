@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_pu_test.dir/hw/pu_test.cc.o"
+  "CMakeFiles/hw_pu_test.dir/hw/pu_test.cc.o.d"
+  "hw_pu_test"
+  "hw_pu_test.pdb"
+  "hw_pu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_pu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

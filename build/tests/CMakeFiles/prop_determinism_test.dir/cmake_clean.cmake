@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_determinism_test.dir/properties/determinism_test.cc.o"
+  "CMakeFiles/prop_determinism_test.dir/properties/determinism_test.cc.o.d"
+  "prop_determinism_test"
+  "prop_determinism_test.pdb"
+  "prop_determinism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_determinism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

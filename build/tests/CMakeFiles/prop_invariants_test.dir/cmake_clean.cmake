@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_invariants_test.dir/properties/invariants_test.cc.o"
+  "CMakeFiles/prop_invariants_test.dir/properties/invariants_test.cc.o.d"
+  "prop_invariants_test"
+  "prop_invariants_test.pdb"
+  "prop_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

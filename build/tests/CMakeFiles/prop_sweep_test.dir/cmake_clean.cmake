@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prop_sweep_test.dir/properties/sweep_test.cc.o"
+  "CMakeFiles/prop_sweep_test.dir/properties/sweep_test.cc.o.d"
+  "prop_sweep_test"
+  "prop_sweep_test.pdb"
+  "prop_sweep_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prop_sweep_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

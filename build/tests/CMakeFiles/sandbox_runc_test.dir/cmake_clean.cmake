@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandbox_runc_test.dir/sandbox/runc_test.cc.o"
+  "CMakeFiles/sandbox_runc_test.dir/sandbox/runc_test.cc.o.d"
+  "sandbox_runc_test"
+  "sandbox_runc_test.pdb"
+  "sandbox_runc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandbox_runc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sandbox_runf_test.dir/sandbox/runf_test.cc.o"
+  "CMakeFiles/sandbox_runf_test.dir/sandbox/runf_test.cc.o.d"
+  "sandbox_runf_test"
+  "sandbox_runf_test.pdb"
+  "sandbox_runf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sandbox_runf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

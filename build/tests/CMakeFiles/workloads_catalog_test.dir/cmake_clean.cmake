@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_catalog_test.dir/workloads/catalog_test.cc.o"
+  "CMakeFiles/workloads_catalog_test.dir/workloads/catalog_test.cc.o.d"
+  "workloads_catalog_test"
+  "workloads_catalog_test.pdb"
+  "workloads_catalog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_catalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workloads_loadgen_test.dir/workloads/loadgen_test.cc.o"
+  "CMakeFiles/workloads_loadgen_test.dir/workloads/loadgen_test.cc.o.d"
+  "workloads_loadgen_test"
+  "workloads_loadgen_test.pdb"
+  "workloads_loadgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workloads_loadgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

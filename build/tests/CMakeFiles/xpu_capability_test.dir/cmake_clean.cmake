@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpu_capability_test.dir/xpu/capability_test.cc.o"
+  "CMakeFiles/xpu_capability_test.dir/xpu/capability_test.cc.o.d"
+  "xpu_capability_test"
+  "xpu_capability_test.pdb"
+  "xpu_capability_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpu_capability_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

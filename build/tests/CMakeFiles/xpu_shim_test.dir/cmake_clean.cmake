@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpu_shim_test.dir/xpu/shim_test.cc.o"
+  "CMakeFiles/xpu_shim_test.dir/xpu/shim_test.cc.o.d"
+  "xpu_shim_test"
+  "xpu_shim_test.pdb"
+  "xpu_shim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpu_shim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpu_transport_test.dir/xpu/transport_test.cc.o"
+  "CMakeFiles/xpu_transport_test.dir/xpu/transport_test.cc.o.d"
+  "xpu_transport_test"
+  "xpu_transport_test.pdb"
+  "xpu_transport_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpu_transport_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

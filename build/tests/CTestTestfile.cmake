@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_time_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_task_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_random_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_pu_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_interconnect_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_fpga_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_gpu_test[1]_include.cmake")
+include("/root/repo/build/tests/os_memory_test[1]_include.cmake")
+include("/root/repo/build/tests/os_kernel_test[1]_include.cmake")
+include("/root/repo/build/tests/xpu_capability_test[1]_include.cmake")
+include("/root/repo/build/tests/xpu_shim_test[1]_include.cmake")
+include("/root/repo/build/tests/sandbox_runc_test[1]_include.cmake")
+include("/root/repo/build/tests/sandbox_runf_test[1]_include.cmake")
+include("/root/repo/build/tests/core_molecule_test[1]_include.cmake")
+include("/root/repo/build/tests/prop_determinism_test[1]_include.cmake")
+include("/root/repo/build/tests/prop_sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/prop_invariants_test[1]_include.cmake")
+include("/root/repo/build/tests/core_scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_catalog_test[1]_include.cmake")
+include("/root/repo/build/tests/core_startup_test[1]_include.cmake")
+include("/root/repo/build/tests/workloads_loadgen_test[1]_include.cmake")
+include("/root/repo/build/tests/core_dag_test[1]_include.cmake")
+include("/root/repo/build/tests/core_deployment_test[1]_include.cmake")
+include("/root/repo/build/tests/xpu_transport_test[1]_include.cmake")
