@@ -8,6 +8,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
+#include "bench/common.hh"
 #include "hw/computer.hh"
 #include "os/kernel.hh"
 #include "sim/sync.hh"
@@ -66,6 +69,61 @@ consumer(sim::Mailbox<int> &box, int n)
         (void)co_await box.get();
 }
 
+// Half the scheduled events are cancelled before they fire — the
+// timeout-guard pattern (every request arms a timer, most are
+// disarmed). Exercises the slab free list and stale-node skipping.
+void
+BM_EventQueueCancelHeavy(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        int sink = 0;
+        std::vector<sim::EventId> armed;
+        armed.reserve(500);
+        for (int i = 0; i < 1000; ++i) {
+            auto id = q.schedule(sim::SimTime::microseconds(i),
+                                 [&] { ++sink; });
+            if (i % 2 == 0)
+                armed.push_back(id);
+        }
+        for (auto id : armed)
+            q.cancel(id);
+        while (!q.empty())
+            q.popNext().second();
+        benchmark::DoNotOptimize(sink);
+    }
+    // Each schedule+cancel or schedule+fire pair counts as one item.
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+// Timer-wheel adversary: a few far-future events pin the heap head
+// while short-lived timers are continuously re-armed (scheduled then
+// cancelled) behind it, so no churned timer ever reaches the head.
+// The old tombstone design grew without bound here; the slab design
+// must recycle and stay flat.
+void
+BM_EventQueueTimerResetChurn(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue q;
+        for (int i = 0; i < 8; ++i)
+            q.schedule(sim::SimTime::seconds(1000 + i), [] {});
+        sim::EventId pending[32] = {};
+        for (int round = 0; round < 1000; ++round) {
+            const int k = round % 32;
+            if (pending[k] != 0)
+                q.cancel(pending[k]);
+            pending[k] = q.schedule(
+                sim::SimTime::milliseconds(1 + round % 97), [] {});
+        }
+        while (!q.empty())
+            q.popNext().second();
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueTimerResetChurn);
+
 void
 BM_MailboxThroughput(benchmark::State &state)
 {
@@ -103,6 +161,57 @@ BM_LocalFifoRoundTrip(benchmark::State &state)
 }
 BENCHMARK(BM_LocalFifoRoundTrip);
 
+/**
+ * Console reporter that additionally captures items/sec into a
+ * PerfSnapshot so every run leaves a BENCH_simcore.json next to the
+ * binary's working directory.
+ */
+class SnapshotReporter : public benchmark::ConsoleReporter
+{
+  public:
+    explicit SnapshotReporter(bench::PerfSnapshot *snap) : snap_(snap)
+    {
+    }
+
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const auto &run : reports) {
+            if (run.run_type == Run::RT_Aggregate)
+                continue; // the snapshot keeps best-of per name
+            const auto it = run.counters.find("items_per_second");
+            if (it != run.counters.end())
+                snap_->record(run.benchmark_name(),
+                              double(it->second));
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+
+  private:
+    bench::PerfSnapshot *snap_;
+};
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+
+    molecule::bench::PerfSnapshot snap("items_per_second");
+    // Seed-kernel numbers (tombstone priority_queue + std::function),
+    // RelWithDebInfo on the reference container. The acceptance bar
+    // for the allocation-free queue is >= 2x on both.
+    snap.baseline("BM_EventQueueScheduleRun", 7.445e6);
+    snap.baseline("BM_CoroutineDelayChain", 16.647e6);
+
+    SnapshotReporter reporter(&snap);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    if (!snap.writeJson("BENCH_simcore.json"))
+        std::fprintf(stderr, "warning: BENCH_simcore.json not written\n");
+    return 0;
+}

@@ -12,6 +12,7 @@
 #ifndef MOLECULE_BENCH_COMMON_HH
 #define MOLECULE_BENCH_COMMON_HH
 
+#include <algorithm>
 #include <cstdio>
 #include <memory>
 #include <string>
@@ -50,6 +51,86 @@ secs(sim::SimTime t, int decimals = 2)
 {
     return sim::Table::num(t.toSeconds(), decimals);
 }
+
+/**
+ * Collects benchmark results and emits a machine-readable perf
+ * snapshot (BENCH_simcore.json). Each entry pairs a measured value
+ * with an optional recorded baseline so the snapshot itself documents
+ * the speedup a perf PR claims.
+ */
+class PerfSnapshot
+{
+  public:
+    explicit PerfSnapshot(std::string metric) : metric_(std::move(metric))
+    {
+    }
+
+    /** Pre-register the reference value a result is judged against. */
+    void
+    baseline(const std::string &name, double value)
+    {
+        entry(name).baseline = value;
+    }
+
+    /**
+     * Record a measured value for @p name. Repeated records (e.g.
+     * --benchmark_repetitions) keep the fastest run: for a throughput
+     * metric the max is the least-interference estimate.
+     */
+    void
+    record(const std::string &name, double value)
+    {
+        auto &e = entry(name);
+        e.value = std::max(e.value, value);
+    }
+
+    /** Write the snapshot as JSON. @retval false open/write failed. */
+    bool
+    writeJson(const std::string &path) const
+    {
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (f == nullptr)
+            return false;
+        std::fprintf(f, "{\n  \"metric\": \"%s\",\n  \"results\": {",
+                     metric_.c_str());
+        const char *sep = "\n";
+        for (const auto &e : entries_) {
+            std::fprintf(f, "%s    \"%s\": {\n      \"value\": %.1f",
+                         sep, e.name.c_str(), e.value);
+            if (e.baseline > 0.0) {
+                std::fprintf(f,
+                             ",\n      \"baseline\": %.1f"
+                             ",\n      \"speedup\": %.3f",
+                             e.baseline, e.value / e.baseline);
+            }
+            std::fprintf(f, "\n    }");
+            sep = ",\n";
+        }
+        std::fprintf(f, "\n  }\n}\n");
+        return std::fclose(f) == 0;
+    }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        double value = 0.0;
+        double baseline = 0.0;
+    };
+
+    Entry &
+    entry(const std::string &name)
+    {
+        for (auto &e : entries_)
+            if (e.name == name)
+                return e;
+        entries_.push_back(Entry{name, 0.0, 0.0});
+        return entries_.back();
+    }
+
+    std::string metric_;
+    std::vector<Entry> entries_;
+};
 
 } // namespace molecule::bench
 

@@ -1,58 +1,222 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace molecule::sim {
 
+namespace {
+
+/** 4-ary heap layout: children of i at 4i+1..4i+4, parent (i-1)/4. */
+constexpr std::size_t kArity = 4;
+
+} // namespace
+
 EventId
-EventQueue::schedule(SimTime when, std::function<void()> fn)
+EventQueue::schedule(SimTime when, InlineCallback fn)
 {
-    EventId id = nextId_++;
-    heap_.push(Entry{when, nextSeq_++, id, std::move(fn)});
-    live_.insert(id);
-    return id;
+    const std::uint32_t slot = acquireSlot();
+    Slot &s = slotAt(slot);
+    s.fn = std::move(fn);
+    s.seq = nextSeq_++;
+    heap_.push_back(Node{when.raw(), s.seq, slot});
+    siftUp(heap_.size() - 1);
+    ++live_;
+    return (EventId(s.generation) << 32) | slot;
+}
+
+EventId
+EventQueue::schedule(SimTime when, std::coroutine_handle<> h)
+{
+    const std::uint32_t slot = acquireSlot();
+    Slot &s = slotAt(slot);
+    s.fn.assignCoroutine(h);
+    s.seq = nextSeq_++;
+    heap_.push_back(Node{when.raw(), s.seq, slot});
+    siftUp(heap_.size() - 1);
+    ++live_;
+    return (EventId(s.generation) << 32) | slot;
 }
 
 bool
 EventQueue::cancel(EventId id)
 {
     // Only events that are still pending may be cancelled; ids of fired
-    // or already-cancelled events are rejected so liveCount stays exact.
-    if (live_.erase(id) == 0)
+    // or already-cancelled events fail the generation check (recycling
+    // a slot bumps its generation) so size() stays exact.
+    const std::uint32_t slot = std::uint32_t(id & 0xffffffffu);
+    const std::uint32_t gen = std::uint32_t(id >> 32);
+    if (slot >= slotCount_ || slotAt(slot).generation != gen ||
+        slotAt(slot).seq == 0)
         return false;
-    cancelled_.insert(id);
+    slotAt(slot).fn.reset();
+    releaseSlot(slot); // clears seq: the heap node is now stale
+    --live_;
+    // Keep the head live so nextTime()/popNext() never see staleness,
+    // and bound stale-node memory under heavy cancel churn.
+    skipStale();
+    if (heap_.size() - live_ > std::max(live_, kCompactSlack))
+        compact();
     return true;
-}
-
-void
-EventQueue::skipCancelled() const
-{
-    while (!heap_.empty()) {
-        auto found = cancelled_.find(heap_.top().id);
-        if (found == cancelled_.end())
-            break;
-        cancelled_.erase(found);
-        heap_.pop();
-    }
 }
 
 SimTime
 EventQueue::nextTime() const
 {
-    skipCancelled();
-    MOLECULE_ASSERT(!heap_.empty(), "nextTime() on empty event queue");
-    return heap_.top().when;
+    MOLECULE_ASSERT(live_ > 0, "nextTime() on empty event queue");
+    return SimTime(heap_.front().when);
 }
 
-std::pair<SimTime, std::function<void()>>
+std::pair<SimTime, InlineCallback>
 EventQueue::popNext()
 {
-    skipCancelled();
-    MOLECULE_ASSERT(!heap_.empty(), "popNext() on empty event queue");
-    Entry entry = std::move(const_cast<Entry &>(heap_.top()));
-    heap_.pop();
-    live_.erase(entry.id);
-    return {entry.when, std::move(entry.fn)};
+    MOLECULE_ASSERT(live_ > 0, "popNext() on empty event queue");
+    const Node top = heap_.front();
+    InlineCallback fn = std::move(slotAt(top.slot).fn);
+    releaseSlot(top.slot);
+    --live_;
+    // Remove the root, then restore the live-head invariant.
+    const Node last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heap_.front() = last;
+        siftDown(0);
+    }
+    skipStale();
+    return {SimTime(top.when), std::move(fn)};
+}
+
+void
+EventQueue::fireNext()
+{
+    MOLECULE_ASSERT(live_ > 0, "fireNext() on empty event queue");
+    const Node top = heap_.front();
+    --live_;
+    const Node last = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty()) {
+        heap_.front() = last;
+        siftDown(0);
+    }
+    skipStale();
+    // The event is out of the queue; invalidate its id (a callback
+    // cancelling the event that is firing must get `false`), run the
+    // callback from its slot, and only then recycle the slot, so a
+    // same-slot reschedule from inside the callback cannot clobber
+    // the running callable.
+    Slot &s = slotAt(top.slot);
+    invalidateSlot(s);
+    s.fn();
+    s.fn.reset();
+    freeSlot(top.slot);
+}
+
+void
+EventQueue::skipStale()
+{
+    while (!heap_.empty() && stale(heap_.front())) {
+        const Node last = heap_.back();
+        heap_.pop_back();
+        if (heap_.empty())
+            break;
+        heap_.front() = last;
+        siftDown(0);
+    }
+}
+
+void
+EventQueue::compact()
+{
+    // Partition out stale nodes, then heapify bottom-up: O(heap size),
+    // amortized against the cancels that created the staleness.
+    std::size_t kept = 0;
+    for (const Node &n : heap_) {
+        if (!stale(n))
+            heap_[kept++] = n;
+    }
+    heap_.resize(kept);
+    if (kept < 2)
+        return;
+    for (std::size_t i = (kept - 2) / kArity + 1; i-- > 0;)
+        siftDown(i);
+}
+
+void
+EventQueue::siftUp(std::size_t pos)
+{
+    const Node n = heap_[pos];
+    while (pos > 0) {
+        const std::size_t parent = (pos - 1) / kArity;
+        if (!before(n, heap_[parent]))
+            break;
+        heap_[pos] = heap_[parent];
+        pos = parent;
+    }
+    heap_[pos] = n;
+}
+
+void
+EventQueue::siftDown(std::size_t pos)
+{
+    const Node n = heap_[pos];
+    const std::size_t count = heap_.size();
+    for (;;) {
+        const std::size_t first = pos * kArity + 1;
+        if (first >= count)
+            break;
+        std::size_t best = first;
+        const std::size_t last = std::min(first + kArity, count);
+        for (std::size_t c = first + 1; c < last; ++c) {
+            if (before(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!before(heap_[best], n))
+            break;
+        heap_[pos] = heap_[best];
+        pos = best;
+    }
+    heap_[pos] = n;
+}
+
+std::uint32_t
+EventQueue::acquireSlot()
+{
+    if (freeHead_ != kNoSlot) {
+        const std::uint32_t slot = freeHead_;
+        freeHead_ = slotAt(slot).nextFree;
+        slotAt(slot).nextFree = kNoSlot;
+        return slot;
+    }
+    MOLECULE_ASSERT(slotCount_ < kNoSlot, "event slab exhausted");
+    if (slotCount_ == chunks_.size() * kChunkSize)
+        chunks_.push_back(std::make_unique<Slot[]>(kChunkSize));
+    return std::uint32_t(slotCount_++);
+}
+
+void
+EventQueue::invalidateSlot(Slot &s)
+{
+    s.seq = 0; // stale marker: heap nodes pointing here are dead
+    ++s.generation;
+    // Generation 0 would collide with never-issued id 0 after a wrap.
+    if (s.generation == 0)
+        s.generation = 1;
+}
+
+void
+EventQueue::freeSlot(std::uint32_t slot)
+{
+    Slot &s = slotAt(slot);
+    s.nextFree = freeHead_;
+    freeHead_ = slot;
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t slot)
+{
+    invalidateSlot(slotAt(slot));
+    freeSlot(slot);
 }
 
 } // namespace molecule::sim

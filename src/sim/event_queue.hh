@@ -11,31 +11,62 @@
 #define MOLECULE_SIM_EVENT_QUEUE_HH
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <utility>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hh"
 #include "sim/time.hh"
 
 namespace molecule::sim {
 
-/** Handle identifying a scheduled event, usable for cancellation. */
+/**
+ * Handle identifying a scheduled event, usable for cancellation.
+ *
+ * Encodes (generation << 32) | slab slot. A slot's generation bumps
+ * every time the slot is recycled, so a stale id (fired or cancelled
+ * event) is rejected in O(1) without any lookup structure. Id 0 is
+ * never issued (generations start at 1).
+ */
 using EventId = std::uint64_t;
 
 /**
- * Min-heap of (time, sequence) ordered events.
+ * Allocation-free pending-event set: a 4-ary min-heap of 24-byte POD
+ * nodes over a generation-tagged slab of callback slots.
  *
- * Cancellation uses tombstones: cancel() marks the id and the event is
- * dropped when it reaches the head. This keeps schedule/cancel O(log n)
- * without an indexed heap.
+ * - schedule: O(log n) heap insert; no allocation once the vectors
+ *   reach steady-state capacity (slots recycle through a free list);
+ * - cancel:   O(1). The callback is destroyed and its slot recycled
+ *   immediately; the heap node goes stale and is dropped either when
+ *   it surfaces at the head or by the amortized compaction below;
+ * - popNext:  O(log n), moves the callback out of its slot and
+ *   recycles the slot before returning.
+ *
+ * A stale node is detected by sequence mismatch: each slab slot
+ * remembers the schedule sequence of its current occupant, and a node
+ * whose seq differs refers to a dead (cancelled or recycled) event.
+ * When stale nodes outnumber max(live, kCompactSlack) the heap is
+ * rebuilt without them, so memory use is proportional to the *live*
+ * event count even under unbounded cancel churn — cancelled entries
+ * can no longer accumulate the way the old tombstone-set design let
+ * them.
+ *
+ * Determinism: pop order is the strict total order (time, sequence);
+ * the sequence counter increments per schedule, so same-instant events
+ * fire in scheduling order (FIFO) regardless of heap shape.
  */
 class EventQueue
 {
   public:
     /** Schedule @p fn at absolute time @p when; returns a cancel id. */
-    EventId schedule(SimTime when, std::function<void()> fn);
+    EventId schedule(SimTime when, InlineCallback fn);
+
+    /**
+     * Fast path for the dominant event kind: resume a coroutine at
+     * @p when. The handle is written straight into the slab slot —
+     * no closure object, no type-erased move.
+     */
+    EventId schedule(SimTime when, std::coroutine_handle<> h);
 
     /**
      * Cancel a previously scheduled event.
@@ -44,9 +75,9 @@ class EventQueue
     bool cancel(EventId id);
 
     /** True when no live (non-cancelled) events remain. */
-    bool empty() const { return live_.empty(); }
+    bool empty() const { return live_ == 0; }
 
-    std::size_t size() const { return live_.size(); }
+    std::size_t size() const { return live_; }
 
     /** Timestamp of the next live event. Queue must not be empty. */
     SimTime nextTime() const;
@@ -57,34 +88,114 @@ class EventQueue
      * callback (coroutines resumed by the callback must observe the
      * new time).
      */
-    std::pair<SimTime, std::function<void()>> popNext();
+    std::pair<SimTime, InlineCallback> popNext();
+
+    /**
+     * Pop the next live event and invoke its callback in place (the
+     * simulation driver's hot path: saves moving the callable out of
+     * its slot). The event is removed from the queue *before* the
+     * callback runs, so the callback may schedule and cancel freely;
+     * slab chunks are address-stable, making the in-place invocation
+     * safe. The caller must advance its clock to nextTime() first.
+     */
+    void fireNext();
+
+    /**
+     * Number of slab slots ever allocated (live + free-listed).
+     * Diagnostics: bounded by the high-water mark of concurrently
+     * *live* events, not by schedule/cancel churn.
+     */
+    std::size_t slabCapacity() const { return slotCount_; }
+
+    /** Heap nodes currently held, live + stale (diagnostics). */
+    std::size_t heapSize() const { return heap_.size(); }
 
   private:
-    struct Entry {
-        SimTime when;
-        std::uint64_t seq;
-        EventId id;
-        std::function<void()> fn;
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+    /** Stale-node floor before compaction triggers (tuning knob). */
+    static constexpr std::size_t kCompactSlack = 64;
+
+    /** Heap node: POD, 24 bytes, ordered by (when, seq). */
+    struct Node
+    {
+        std::int64_t when;  // SimTime::raw()
+        std::uint64_t seq;  // FIFO tie-break at equal timestamps
+        std::uint32_t slot; // index into slab_
     };
 
-    struct Later {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
+    /** Slab slot owning the callback of one pending event. */
+    struct Slot
+    {
+        InlineCallback fn;
+        /** Schedule seq of the current occupant; stale-node filter. */
+        std::uint64_t seq = 0;
+        std::uint32_t generation = 1;
+        std::uint32_t nextFree = kNoSlot;
     };
 
-    /** Drop cancelled entries from the head. */
-    void skipCancelled() const;
+    static bool
+    before(const Node &a, const Node &b)
+    {
+        if (a.when != b.when)
+            return a.when < b.when;
+        return a.seq < b.seq;
+    }
 
-    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    mutable std::unordered_set<EventId> cancelled_;
-    std::unordered_set<EventId> live_;
-    std::uint64_t nextSeq_ = 0;
-    EventId nextId_ = 1;
+    /**
+     * Slab storage is chunked so slots never relocate: growing the
+     * slab must not move InlineCallbacks (a vector resize would call
+     * their type-erased relocate op per element, which dominates the
+     * schedule hot path when a queue warms up).
+     */
+    static constexpr std::size_t kChunkShift = 8;
+    static constexpr std::size_t kChunkSize = std::size_t(1)
+                                              << kChunkShift;
+
+    Slot &
+    slotAt(std::uint32_t slot)
+    {
+        return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+    }
+
+    const Slot &
+    slotAt(std::uint32_t slot) const
+    {
+        return chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)];
+    }
+
+    bool
+    stale(const Node &n) const
+    {
+        return slotAt(n.slot).seq != n.seq;
+    }
+
+    void siftUp(std::size_t pos);
+    void siftDown(std::size_t pos);
+
+    /** Drop stale nodes sitting at the heap head. */
+    void skipStale();
+
+    /** Rebuild the heap without stale nodes (amortized O(1)/cancel). */
+    void compact();
+
+    std::uint32_t acquireSlot();
+
+    /** Retire the slot's id/seq so stale nodes and ids are rejected. */
+    void invalidateSlot(Slot &s);
+
+    /** Return an invalidated slot to the free list. */
+    void freeSlot(std::uint32_t slot);
+
+    /** invalidateSlot + freeSlot. */
+    void releaseSlot(std::uint32_t slot);
+
+    std::vector<Node> heap_;
+    std::vector<std::unique_ptr<Slot[]>> chunks_;
+    std::size_t slotCount_ = 0;
+    std::uint32_t freeHead_ = kNoSlot;
+    std::size_t live_ = 0;
+    std::uint64_t nextSeq_ = 1; // 0 marks a free slab slot
 };
 
 } // namespace molecule::sim

@@ -25,11 +25,10 @@ Simulation::step()
 {
     if (events_.empty())
         return false;
-    auto [when, fn] = events_.popNext();
     // Advance the clock *before* running the callback so resumed
     // coroutines observe the firing time.
-    now_ = when;
-    fn();
+    now_ = events_.nextTime();
+    events_.fireNext();
     return true;
 }
 

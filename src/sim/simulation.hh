@@ -12,7 +12,6 @@
 #define MOLECULE_SIM_SIMULATION_HH
 
 #include <coroutine>
-#include <functional>
 
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
@@ -48,7 +47,7 @@ class Simulation
 
     /** Schedule a callback @p after from now; returns a cancel id. */
     EventId
-    schedule(SimTime after, std::function<void()> fn)
+    schedule(SimTime after, InlineCallback fn)
     {
         return events_.schedule(now_ + after, std::move(fn));
     }
@@ -77,7 +76,9 @@ class Simulation
             void
             await_suspend(std::coroutine_handle<> h)
             {
-                sim->schedule(amount, [h] { h.resume(); });
+                // Fast path: the handle is stored directly in the
+                // event slot — no closure, no allocation.
+                sim->events_.schedule(sim->now_ + amount, h);
             }
 
             void await_resume() const noexcept {}
@@ -92,7 +93,7 @@ class Simulation
     void
     scheduleResume(std::coroutine_handle<> h)
     {
-        schedule(SimTime(0), [h] { h.resume(); });
+        events_.schedule(now_, h);
     }
 
     /** Run until the event set drains. @return final simulated time. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "sim/logging.hh"
 
@@ -90,6 +91,33 @@ Histogram::summaryLine() const
                   mean(), percentile(50), percentile(75), percentile(90),
                   percentile(95), percentile(99));
     return buf;
+}
+
+void
+Fingerprint::mix(std::uint64_t v)
+{
+    // FNV-1a, one byte at a time, little-endian byte order.
+    constexpr std::uint64_t prime = 1099511628211ULL;
+    for (int shift = 0; shift < 64; shift += 8) {
+        state_ ^= (v >> shift) & 0xffULL;
+        state_ *= prime;
+    }
+}
+
+void
+Fingerprint::mixDouble(double v)
+{
+    static_assert(sizeof(double) == sizeof(std::uint64_t));
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    mix(bits);
+}
+
+void
+Fingerprint::mixHistogram(const Histogram &h)
+{
+    for (double s : h.samples())
+        mixDouble(s);
 }
 
 void

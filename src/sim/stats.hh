@@ -74,6 +74,38 @@ class Histogram
 };
 
 /**
+ * Order-sensitive 64-bit digest (FNV-1a) over a stream of values.
+ *
+ * The golden-trace determinism tests fold every latency sample of a
+ * scenario into a Fingerprint and compare digests across runs, seeds
+ * and kernel rewrites: identical seed => identical digest, bit for bit.
+ */
+class Fingerprint
+{
+  public:
+    /** Fold one 64-bit value into the digest (order matters). */
+    void mix(std::uint64_t v);
+
+    void mixTime(SimTime t) { mix(static_cast<std::uint64_t>(t.raw())); }
+
+    void mixDouble(double v);
+
+    /**
+     * Fold every sample of a histogram. Uses the histogram's current
+     * sample order, which percentile queries may have sorted — mix
+     * before querying (or query in a fixed order) for stable digests.
+     */
+    void mixHistogram(const Histogram &h);
+
+    std::uint64_t digest() const { return state_; }
+
+  private:
+    static constexpr std::uint64_t kOffsetBasis = 14695981039346656037ULL;
+
+    std::uint64_t state_ = kOffsetBasis;
+};
+
+/**
  * Named registry so modules can publish stats without coupling to the
  * experiment harness.
  */

@@ -1,0 +1,121 @@
+#include "sim/sweep.hh"
+
+namespace molecule::sim {
+
+SweepRunner::SweepRunner(unsigned threads)
+{
+    if (threads == 0) {
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    // The calling thread participates in every batch, so spawn one
+    // fewer worker than the requested parallelism.
+    workers_.reserve(threads - 1);
+    for (unsigned i = 0; i + 1 < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+SweepRunner::~SweepRunner()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &w : workers_)
+        w.join();
+}
+
+void
+SweepRunner::forEach(std::size_t count,
+                     const std::function<void(std::size_t)> &body)
+{
+    if (count == 0)
+        return;
+    Batch batch;
+    batch.body = &body;
+    batch.count = count;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        batch_ = &batch;
+        ++batchSeq_;
+    }
+    wake_.notify_all();
+
+    drain(batch); // the calling thread is one of the pool
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    batchDone_.wait(lock, [&] {
+        return batch.done.load(std::memory_order_acquire) == count;
+    });
+    // Unpublish, then wait for every worker to step out of drain():
+    // `batch` lives on this stack frame and must outlive all readers.
+    batch_ = nullptr;
+    batchDone_.wait(lock, [&] { return activeDrains_ == 0; });
+    lock.unlock();
+
+    if (batch.error)
+        std::rethrow_exception(batch.error);
+}
+
+void
+SweepRunner::drain(Batch &batch)
+{
+    for (;;) {
+        const std::size_t i =
+            batch.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= batch.count)
+            return;
+        try {
+            (*batch.body)(i);
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> lock(batch.errorMutex);
+                if (!batch.error)
+                    batch.error = std::current_exception();
+            }
+            // Short-circuit the replicas not yet started; the finished
+            // count still has to reach `count`, so account for the
+            // skipped tail here.
+            const std::size_t first = batch.next.exchange(
+                batch.count, std::memory_order_relaxed);
+            if (first < batch.count) {
+                batch.done.fetch_add(batch.count - first,
+                                     std::memory_order_acq_rel);
+            }
+        }
+        const std::size_t finished =
+            1 + batch.done.fetch_add(1, std::memory_order_acq_rel);
+        if (finished >= batch.count) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            batchDone_.notify_all();
+            return;
+        }
+    }
+}
+
+void
+SweepRunner::workerLoop()
+{
+    std::uint64_t seenSeq = 0;
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        wake_.wait(lock, [&] {
+            return stopping_ ||
+                   (batch_ != nullptr && batchSeq_ != seenSeq);
+        });
+        if (stopping_)
+            return;
+        seenSeq = batchSeq_;
+        Batch *batch = batch_;
+        ++activeDrains_;
+        lock.unlock();
+        drain(*batch);
+        lock.lock();
+        if (--activeDrains_ == 0)
+            batchDone_.notify_all();
+    }
+}
+
+} // namespace molecule::sim

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Parallel sweep runner: fan independent simulation replicas across a
+ * worker-thread pool.
+ *
+ * Every bench/test sweep in this repository (seed sweeps, design-space
+ * grids, parameter ladders) runs N completely independent Simulation
+ * instances — they share no state, so the sweep is embarrassingly
+ * parallel. SweepRunner multiplies sweep capacity by the core count
+ * while preserving determinism: each replica is a pure function of its
+ * index (which selects seed/parameters), and results land in an
+ * index-addressed vector, so the output is bit-identical to a serial
+ * run regardless of thread interleaving.
+ *
+ * Threading model: a persistent pool of workers plus the calling
+ * thread drain a shared atomic index counter per batch; forEach/map
+ * block until the batch completes. The first exception thrown by any
+ * replica is captured, the batch is short-circuited, and the exception
+ * rethrown on the calling thread.
+ */
+
+#ifndef MOLECULE_SIM_SWEEP_HH
+#define MOLECULE_SIM_SWEEP_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace molecule::sim {
+
+/**
+ * Fixed-size worker pool for independent replicas.
+ *
+ * @warning Replica bodies must not touch shared mutable state; a
+ * Simulation and everything hanging off it belong to exactly one
+ * replica. The pool provides no synchronization beyond batch
+ * start/finish.
+ */
+class SweepRunner
+{
+  public:
+    /** @param threads worker count; 0 = hardware concurrency. */
+    explicit SweepRunner(unsigned threads = 0);
+
+    SweepRunner(const SweepRunner &) = delete;
+    SweepRunner &operator=(const SweepRunner &) = delete;
+
+    ~SweepRunner();
+
+    /** Total executing threads per batch (workers + caller). */
+    unsigned threadCount() const { return unsigned(workers_.size()) + 1; }
+
+    /**
+     * Run body(i) for every i in [0, count); blocks until all replicas
+     * finish. Rethrows the first replica exception (remaining replicas
+     * are skipped, in-flight ones finish first).
+     */
+    void forEach(std::size_t count,
+                 const std::function<void(std::size_t)> &body);
+
+    /**
+     * Evaluate fn(i) for every i in [0, count) and collect the results
+     * in index order. R must be default-constructible; fn must be
+     * callable from multiple threads on distinct indices.
+     */
+    template <typename R, typename Fn>
+    std::vector<R>
+    map(std::size_t count, Fn &&fn)
+    {
+        std::vector<R> out(count);
+        forEach(count, [&](std::size_t i) { out[i] = fn(i); });
+        return out;
+    }
+
+  private:
+    /** One fan-out: workers race on next_ until it reaches count_. */
+    struct Batch
+    {
+        const std::function<void(std::size_t)> *body = nullptr;
+        std::size_t count = 0;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+        std::exception_ptr error;
+        std::mutex errorMutex;
+    };
+
+    void workerLoop();
+
+    /** Drain replicas from @p batch until the index space is exhausted. */
+    void drain(Batch &batch);
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable batchDone_;
+    Batch *batch_ = nullptr;   // guarded by mutex_
+    std::uint64_t batchSeq_ = 0;
+    /** Workers currently inside drain(); guards Batch lifetime. */
+    unsigned activeDrains_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace molecule::sim
+
+#endif // MOLECULE_SIM_SWEEP_HH

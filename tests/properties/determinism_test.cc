@@ -11,6 +11,7 @@
 
 #include "core/molecule.hh"
 #include "sim/stats.hh"
+#include "sim/sweep.hh"
 #include "hw/computer.hh"
 #include "workloads/catalog.hh"
 
@@ -54,10 +55,53 @@ scenario(std::uint64_t seed)
     return fingerprint;
 }
 
+/** FNV-1a digest of a full scenario trace. */
+std::uint64_t
+traceDigest(std::uint64_t seed)
+{
+    sim::Fingerprint fp;
+    for (auto v : scenario(seed))
+        fp.mix(static_cast<std::uint64_t>(v));
+    return fp.digest();
+}
+
 TEST(Determinism, SameSeedSameFingerprint)
 {
     EXPECT_EQ(scenario(42), scenario(42));
     EXPECT_EQ(scenario(7), scenario(7));
+}
+
+// Golden digests captured on the pre-rewrite (tombstone + std::function
+// priority_queue) DES kernel. The allocation-free queue — and any
+// future kernel change — must reproduce the simulated results bit for
+// bit: same seed, same digest, forever. If a change legitimately
+// alters the cost models (not the kernel), recapture these constants
+// and say so in the commit.
+TEST(Determinism, GoldenTraceDigestMatchesPreRewriteKernel)
+{
+    EXPECT_EQ(traceDigest(42), 0x582305e76012b3f7ULL);
+    EXPECT_EQ(traceDigest(7), 0x2dacb53306886fbcULL);
+    EXPECT_EQ(traceDigest(1), 0x799fabc445a22749ULL);
+}
+
+// The same golden digests must hold when the scenarios run as replicas
+// on the multi-threaded SweepRunner: thread interleaving must not be
+// able to touch simulated results.
+TEST(Determinism, GoldenTraceDigestHoldsUnderSweepRunner)
+{
+    const std::uint64_t seeds[] = {42, 7, 1, 42, 7, 1, 42, 7, 1};
+    const std::uint64_t golden[] = {
+        0x582305e76012b3f7ULL, 0x2dacb53306886fbcULL,
+        0x799fabc445a22749ULL, 0x582305e76012b3f7ULL,
+        0x2dacb53306886fbcULL, 0x799fabc445a22749ULL,
+        0x582305e76012b3f7ULL, 0x2dacb53306886fbcULL,
+        0x799fabc445a22749ULL};
+    sim::SweepRunner pool;
+    auto digests = pool.map<std::uint64_t>(
+        std::size(seeds),
+        [&](std::size_t i) { return traceDigest(seeds[i]); });
+    for (std::size_t i = 0; i < std::size(seeds); ++i)
+        EXPECT_EQ(digests[i], golden[i]) << "replica " << i;
 }
 
 TEST(Determinism, DifferentSeedsDifferOnlyInJitter)

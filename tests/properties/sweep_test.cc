@@ -12,6 +12,7 @@
 
 #include "core/molecule.hh"
 #include "hw/computer.hh"
+#include "sim/sweep.hh"
 #include "workloads/catalog.hh"
 #include "xpu/client.hh"
 
@@ -274,5 +275,57 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(3, 65536ULL),
                       std::make_tuple(5, 4096ULL),
                       std::make_tuple(5, 1048576ULL)));
+
+// ---------------------------------------------------------------------
+// Sweep 5: the full transport x size grid, evaluated in parallel on
+// the SweepRunner. Each grid point is an independent simulation
+// replica, so a threaded sweep must (a) reproduce the serial results
+// bit for bit and (b) satisfy the transport ordering at every point.
+// ---------------------------------------------------------------------
+
+TEST(ParallelSweep, NipcGridMatchesSerialBitForBit)
+{
+    struct Point
+    {
+        TransportKind kind;
+        std::uint64_t bytes;
+    };
+    const TransportKind kinds[] = {TransportKind::Fifo,
+                                   TransportKind::Mpsc,
+                                   TransportKind::MpscPoll};
+    const std::uint64_t sizes[] = {16, 64, 256, 1024, 4096};
+    std::vector<Point> grid;
+    for (auto k : kinds)
+        for (auto b : sizes)
+            grid.push_back({k, b});
+
+    struct MeasureFixture : NipcSweep
+    {
+        using NipcSweep::measure;
+    };
+    std::vector<std::int64_t> serial;
+    for (const auto &p : grid)
+        serial.push_back(
+            MeasureFixture::measure(p.kind, p.bytes).raw());
+
+    sim::SweepRunner pool;
+    auto threaded = pool.map<std::int64_t>(
+        grid.size(), [&](std::size_t i) {
+            return MeasureFixture::measure(grid[i].kind,
+                                           grid[i].bytes)
+                .raw();
+        });
+    EXPECT_EQ(serial, threaded);
+
+    // Transport ordering (Poll < Mpsc < Fifo) at every grid size.
+    const std::size_t n = std::size(sizes);
+    for (std::size_t s = 0; s < n; ++s) {
+        const auto fifo = threaded[0 * n + s];
+        const auto mpsc = threaded[1 * n + s];
+        const auto poll = threaded[2 * n + s];
+        EXPECT_LT(poll, mpsc) << "size " << sizes[s];
+        EXPECT_LT(mpsc, fifo) << "size " << sizes[s];
+    }
+}
 
 } // namespace

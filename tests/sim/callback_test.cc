@@ -1,0 +1,173 @@
+/** @file Unit tests for the SBO InlineCallback. */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <coroutine>
+#include <memory>
+#include <utility>
+
+#include "sim/callback.hh"
+
+namespace {
+
+using molecule::sim::InlineCallback;
+
+TEST(InlineCallback, EmptyByDefault)
+{
+    InlineCallback cb;
+    EXPECT_FALSE(bool(cb));
+    EXPECT_FALSE(cb.usesHeap());
+}
+
+TEST(InlineCallback, SmallLambdaStaysInline)
+{
+    int hits = 0;
+    InlineCallback cb([&hits] { ++hits; });
+    EXPECT_TRUE(bool(cb));
+    EXPECT_FALSE(cb.usesHeap());
+    cb();
+    cb();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, CapturesUpToInlineLimitWithoutHeap)
+{
+    std::array<std::uint64_t, InlineCallback::kInlineBytes / 8> big{};
+    big.back() = 7;
+    std::uint64_t out = 0;
+    InlineCallback cb([big, &out]() mutable { out = big.back(); });
+    // `big` plus the reference exceeds the buffer; the pure-array
+    // capture alone must not.
+    InlineCallback fits([big] { (void)big; });
+    EXPECT_FALSE(fits.usesHeap());
+    cb();
+    EXPECT_EQ(out, 7u);
+}
+
+TEST(InlineCallback, OversizedCaptureFallsBackToHeap)
+{
+    std::array<std::uint64_t, 16> big{}; // 128 B > kInlineBytes
+    big[0] = 42;
+    std::uint64_t out = 0;
+    InlineCallback cb([big, &out] { out = big[0]; });
+    EXPECT_TRUE(cb.usesHeap());
+    cb();
+    EXPECT_EQ(out, 42u);
+}
+
+TEST(InlineCallback, MovePreservesCallableAndEmptiesSource)
+{
+    int hits = 0;
+    InlineCallback a([&hits] { ++hits; });
+    InlineCallback b(std::move(a));
+    EXPECT_FALSE(bool(a)); // NOLINT(bugprone-use-after-move)
+    EXPECT_TRUE(bool(b));
+    b();
+    EXPECT_EQ(hits, 1);
+
+    InlineCallback c;
+    c = std::move(b);
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineCallback, MoveOnlyCaptureIsSupported)
+{
+    auto owned = std::make_unique<int>(9);
+    int out = 0;
+    InlineCallback cb(
+        [p = std::move(owned), &out] { out = *p; });
+    EXPECT_FALSE(cb.usesHeap());
+    cb();
+    EXPECT_EQ(out, 9);
+}
+
+TEST(InlineCallback, DestructorReleasesCapture)
+{
+    auto counted = std::make_shared<int>(1);
+    {
+        InlineCallback cb([counted] { (void)counted; });
+        EXPECT_EQ(counted.use_count(), 2);
+    }
+    EXPECT_EQ(counted.use_count(), 1);
+
+    // Heap representation too.
+    std::array<char, 128> pad{};
+    {
+        InlineCallback cb([counted, pad] { (void)pad; });
+        EXPECT_TRUE(cb.usesHeap());
+        EXPECT_EQ(counted.use_count(), 2);
+    }
+    EXPECT_EQ(counted.use_count(), 1);
+}
+
+TEST(InlineCallback, MoveAssignDestroysPreviousCallable)
+{
+    auto counted = std::make_shared<int>(1);
+    InlineCallback cb([counted] { (void)counted; });
+    EXPECT_EQ(counted.use_count(), 2);
+    cb = InlineCallback([] {});
+    EXPECT_EQ(counted.use_count(), 1);
+}
+
+struct Resumed
+{
+    struct promise_type
+    {
+        bool *flag = nullptr;
+
+        Resumed
+        get_return_object()
+        {
+            return Resumed{
+                std::coroutine_handle<promise_type>::from_promise(
+                    *this)};
+        }
+
+        std::suspend_always initial_suspend() noexcept { return {}; }
+        std::suspend_always final_suspend() noexcept { return {}; }
+        void return_void() {}
+        void unhandled_exception() { std::terminate(); }
+    };
+
+    std::coroutine_handle<promise_type> handle;
+
+    ~Resumed()
+    {
+        if (handle)
+            handle.destroy();
+    }
+};
+
+Resumed
+setOnResume(bool *flag)
+{
+    *flag = true;
+    co_return;
+}
+
+TEST(InlineCallback, CoroutineFastPathResumesHandle)
+{
+    bool resumed = false;
+    Resumed coro = setOnResume(&resumed);
+    InlineCallback cb{std::coroutine_handle<>(coro.handle)};
+    EXPECT_FALSE(cb.usesHeap());
+    EXPECT_FALSE(resumed); // still suspended at initial_suspend
+    cb();
+    EXPECT_TRUE(resumed);
+}
+
+TEST(InlineCallback, AssignCoroutineReplacesCallable)
+{
+    auto counted = std::make_shared<int>(1);
+    InlineCallback cb([counted] { (void)counted; });
+    bool resumed = false;
+    Resumed coro = setOnResume(&resumed);
+    cb.assignCoroutine(std::coroutine_handle<>(coro.handle));
+    EXPECT_EQ(counted.use_count(), 1); // old capture released
+    cb();
+    EXPECT_TRUE(resumed);
+}
+
+} // namespace

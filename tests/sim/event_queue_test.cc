@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "sim/event_queue.hh"
+#include "sim/simulation.hh"
 
 namespace {
 
@@ -106,6 +107,109 @@ TEST(EventQueue, CallbackMayScheduleMoreEvents)
     EXPECT_EQ(fire[1], 1_us);
     EXPECT_EQ(fire[2], 5_us);
     EXPECT_EQ(fire[3], 5_us);
+}
+
+// Regression for the old const_cast pop + tombstone-set design: pops
+// interleaved with cancels must keep firing the live events in (time,
+// schedule-order) sequence, reject every stale id, and keep size()
+// exact throughout.
+TEST(EventQueue, PopsInterleavedWithCancels)
+{
+    EventQueue q;
+    std::vector<int> fired;
+    std::vector<molecule::sim::EventId> ids;
+    for (int i = 0; i < 32; ++i) {
+        ids.push_back(
+            q.schedule(SimTime::microseconds(i), [&fired, i] {
+                fired.push_back(i);
+            }));
+    }
+    // Reference model: an event is pending iff neither fired nor
+    // cancelled; the queue must fire pending events in index order
+    // (times are ascending). After every pop both sides attempt to
+    // cancel the same pseudo-random id, so head, mid-heap and stale
+    // cancels all interleave with pops.
+    std::vector<bool> cancelled(32, false), done(32, false);
+    std::vector<int> expect;
+    int pops = 0;
+    while (!q.empty()) {
+        q.popNext().second();
+        ++pops;
+        const std::size_t k = std::size_t(pops * 5) % 32;
+        // Mirror in the model: account for the fired event first.
+        for (int i = 0; i < 32; ++i) {
+            if (!cancelled[std::size_t(i)] && !done[std::size_t(i)]) {
+                done[std::size_t(i)] = true;
+                expect.push_back(i);
+                break;
+            }
+        }
+        const bool modelCancel = !cancelled[k] && !done[k];
+        EXPECT_EQ(q.cancel(ids[k]), modelCancel);
+        if (modelCancel)
+            cancelled[k] = true;
+    }
+    EXPECT_EQ(fired, expect);
+    EXPECT_EQ(q.size(), 0u);
+    // Every id is now dead: fired or cancelled, all must reject.
+    for (auto id : ids)
+        EXPECT_FALSE(q.cancel(id));
+}
+
+// The old design kept cancelled-but-never-popped entries in a
+// tombstone set until they surfaced at the heap head — unbounded
+// growth under timer-reset churn. The slab must recycle slots and the
+// heap must compact, keeping memory proportional to the *live* count.
+TEST(EventQueue, MemoryStableUnderCancelChurn)
+{
+    EventQueue q;
+    // A handful of long-lived events pin the heap head far in the
+    // future so churned timers behind them are never popped.
+    for (int i = 0; i < 4; ++i)
+        q.schedule(SimTime::seconds(100 + i), [] {});
+    for (int round = 0; round < 100000; ++round) {
+        auto id = q.schedule(SimTime::seconds(1 + round % 7), [] {});
+        ASSERT_TRUE(q.cancel(id));
+    }
+    EXPECT_EQ(q.size(), 4u);
+    // Slots recycle through the free list; the slab never grows past
+    // the live high-water mark.
+    EXPECT_LE(q.slabCapacity(), 8u);
+    // Stale heap nodes are bounded by the compaction threshold, not
+    // by the 100k cancels.
+    EXPECT_LE(q.heapSize(), 4u + 65u);
+    while (!q.empty())
+        q.popNext().second();
+}
+
+// A cancel id must stay dead after its slab slot is recycled by a new
+// event (generation tag protects against slot-reuse ABA).
+TEST(EventQueue, StaleIdAfterSlotReuseIsRejected)
+{
+    EventQueue q;
+    auto a = q.schedule(1_us, [] {});
+    EXPECT_TRUE(q.cancel(a));
+    int fired = 0;
+    // Reuses the slot a occupied.
+    auto b = q.schedule(2_us, [&] { ++fired; });
+    EXPECT_FALSE(q.cancel(a));
+    EXPECT_EQ(q.size(), 1u);
+    q.popNext().second();
+    EXPECT_EQ(fired, 1);
+    EXPECT_FALSE(q.cancel(b));
+}
+
+// A callback cancelling the very event that is firing must get false
+// (the event already left the queue) without corrupting the counts.
+TEST(EventQueue, SelfCancelFromCallbackIsRejected)
+{
+    molecule::sim::Simulation sim;
+    molecule::sim::EventId self = 0;
+    bool selfCancel = true;
+    self = sim.schedule(1_us, [&] { selfCancel = sim.cancel(self); });
+    sim.run();
+    EXPECT_FALSE(selfCancel);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
 }
 
 TEST(EventQueue, SizeTracksLiveEvents)

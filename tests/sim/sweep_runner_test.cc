@@ -1,0 +1,116 @@
+/** @file Unit tests for the parallel SweepRunner pool. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulation.hh"
+#include "sim/sweep.hh"
+#include "sim/task.hh"
+
+namespace {
+
+using molecule::sim::Simulation;
+using molecule::sim::SweepRunner;
+using namespace molecule::sim::literals;
+
+TEST(SweepRunner, RunsEveryIndexExactlyOnce)
+{
+    SweepRunner pool(4);
+    std::vector<std::atomic<int>> hits(257);
+    pool.forEach(hits.size(),
+                 [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SweepRunner, ZeroCountIsANoop)
+{
+    SweepRunner pool(2);
+    pool.forEach(0, [](std::size_t) { FAIL(); });
+}
+
+TEST(SweepRunner, MapCollectsResultsInIndexOrder)
+{
+    SweepRunner pool(3);
+    auto out = pool.map<std::size_t>(100,
+                                     [](std::size_t i) { return i * i; });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(SweepRunner, SingleThreadPoolStillCompletes)
+{
+    SweepRunner pool(1); // caller-only, no workers
+    EXPECT_EQ(pool.threadCount(), 1u);
+    std::vector<int> hits(64, 0);
+    pool.forEach(hits.size(), [&](std::size_t i) { hits[i] = 1; });
+    EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 64);
+}
+
+TEST(SweepRunner, ReusableAcrossBatches)
+{
+    SweepRunner pool(4);
+    for (int round = 0; round < 50; ++round) {
+        std::atomic<int> sum{0};
+        pool.forEach(17, [&](std::size_t i) {
+            sum.fetch_add(int(i) + round);
+        });
+        EXPECT_EQ(sum.load(), 136 + 17 * round);
+    }
+}
+
+TEST(SweepRunner, ReplicaExceptionPropagatesToCaller)
+{
+    SweepRunner pool(4);
+    std::atomic<int> ran{0};
+    EXPECT_THROW(
+        pool.forEach(1000,
+                     [&](std::size_t i) {
+                         if (i == 3)
+                             throw std::runtime_error("replica 3");
+                         ran.fetch_add(1);
+                     }),
+        std::runtime_error);
+    // The batch short-circuits: not every replica needs to have run.
+    EXPECT_LE(ran.load(), 1000);
+    // The pool survives and stays usable.
+    std::atomic<int> after{0};
+    pool.forEach(8, [&](std::size_t) { after.fetch_add(1); });
+    EXPECT_EQ(after.load(), 8);
+}
+
+/** One tiny simulation replica; returns its final virtual time. */
+std::int64_t
+replica(std::uint64_t seed)
+{
+    Simulation sim(seed);
+    auto body = [](Simulation *s) -> molecule::sim::Task<> {
+        for (int i = 0; i < 100; ++i) {
+            const auto jitter = s->rng().uniformInt(1, 50);
+            co_await s->delay(molecule::sim::SimTime(jitter));
+        }
+    };
+    sim.spawn(body(&sim));
+    return sim.run().raw();
+}
+
+TEST(SweepRunner, SimulationReplicasMatchSerialBitForBit)
+{
+    // The whole point of the runner: a threaded sweep must produce
+    // exactly what the serial loop produces, element for element.
+    std::vector<std::int64_t> serial;
+    for (std::uint64_t s = 0; s < 64; ++s)
+        serial.push_back(replica(s));
+
+    SweepRunner pool;
+    auto threaded = pool.map<std::int64_t>(
+        64, [](std::size_t i) { return replica(std::uint64_t(i)); });
+    EXPECT_EQ(serial, threaded);
+}
+
+} // namespace
