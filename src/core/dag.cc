@@ -13,6 +13,7 @@ ChainSpec::linear(const std::string &name,
 {
     ChainSpec spec;
     spec.name = name;
+    spec.nodes.reserve(fns.size());
     for (std::size_t i = 0; i < fns.size(); ++i)
         spec.nodes.push_back(ChainNode{fns[i], int(i) - 1});
     return spec;
@@ -146,6 +147,7 @@ runNode(RunContext *ctx, int idx, sim::SimTime upstreamDone)
     ctx->execEnd[std::size_t(idx)] = sim.now();
 
     std::vector<sim::Task<>> kids;
+    kids.reserve(ctx->children[std::size_t(idx)].size());
     for (int child : ctx->children[std::size_t(idx)])
         kids.push_back(runNode(ctx, child, sim.now()));
     co_await sim::allOf(sim, std::move(kids));

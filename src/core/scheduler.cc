@@ -13,6 +13,7 @@ Scheduler::admissibleBytes(int pu) const
 int
 Scheduler::pickPu(const FunctionDef &fn) const
 {
+    decisions_.fetchAdd(1);
     // Profiles sorted by price: cheapest first.
     std::vector<Profile> profiles = fn.profiles;
     std::sort(profiles.begin(), profiles.end(),
@@ -35,6 +36,7 @@ Scheduler::pickPu(const FunctionDef &fn) const
 std::vector<int>
 Scheduler::placeChain(const ChainSpec &spec) const
 {
+    decisions_.fetchAdd(1);
     // Chain affinity: find one PU whose kind every function allows.
     for (int pu : dep_.generalPus()) {
         const auto kind = dep_.computer().pu(pu).type();
@@ -51,6 +53,7 @@ Scheduler::placeChain(const ChainSpec &spec) const
     }
     // Fall back to per-node placement.
     std::vector<int> placement;
+    placement.reserve(spec.nodes.size());
     for (const auto &node : spec.nodes)
         placement.push_back(pickPu(registry_.find(node.fn)));
     return placement;

@@ -14,6 +14,7 @@
 #include "core/dag.hh"
 #include "core/deployment.hh"
 #include "core/function.hh"
+#include "sim/analysis.hh"
 
 namespace molecule::core {
 
@@ -45,9 +46,17 @@ class Scheduler
     /** Free memory on @p pu minus a safety margin (bytes). */
     std::uint64_t admissibleBytes(int pu) const;
 
+    /** Placement decisions taken so far (diagnostics). */
+    std::int64_t decisionCount() const { return decisions_.peek(); }
+
   private:
     Deployment &dep_;
     const FunctionRegistry &registry_;
+    /** Each decision consumes admission headroom other same-tick
+     * decisions also saw: ordering is pure event tie-break, so the
+     * cell is written per decision to make such pairs visible. */
+    mutable sim::analysis::Tracked<std::int64_t> decisions_{
+        0, "core.placement"};
 };
 
 } // namespace molecule::core

@@ -16,6 +16,7 @@ sim::Task<>
 FpgaDevice::erase()
 {
     ++eraseCount_;
+    imageEpoch_.fetchAdd(1);
     image_.reset();
     slotBusy_.clear();
     co_await sim_.delay(calib::kFpgaEraseCost);
@@ -40,7 +41,9 @@ FpgaDevice::program(FpgaImage image, ProgramMode mode, bool retainDram)
     slotBusy_.clear();
     for (std::size_t i = 0; i < image_->slots.size(); ++i)
         slotBusy_.push_back(std::make_unique<sim::Semaphore>(sim_, 1));
+    imageEpoch_.fetchAdd(1);
     if (!retainDram) {
+        bankEpoch_.fetchAdd(1);
         for (auto &b : banks_)
             b.data.clear();
     }
@@ -57,6 +60,7 @@ FpgaDevice::image() const
 bool
 FpgaDevice::resident(const std::string &funcId) const
 {
+    imageEpoch_.read();
     return image_ && image_->contains(funcId);
 }
 
@@ -96,6 +100,7 @@ FpgaDevice::bankWrite(int bank, std::string tag, std::uint64_t bytes)
     MOLECULE_ASSERT(bank >= 0 && bank < dramBankCount(),
                     "bank %d out of range", bank);
     co_await sim_.delay(dramAccessTime(bytes));
+    bankEpoch_.fetchAdd(1);
     banks_[std::size_t(bank)].data[std::move(tag)] = bytes;
 }
 
@@ -104,6 +109,7 @@ FpgaDevice::bankPeek(int bank, const std::string &tag) const
 {
     MOLECULE_ASSERT(bank >= 0 && bank < dramBankCount(),
                     "bank %d out of range", bank);
+    bankEpoch_.read();
     const auto &data = banks_[std::size_t(bank)].data;
     auto it = data.find(tag);
     if (it == data.end())
@@ -116,6 +122,7 @@ FpgaDevice::bankRead(int bank, std::uint64_t bytes)
 {
     MOLECULE_ASSERT(bank >= 0 && bank < dramBankCount(),
                     "bank %d out of range", bank);
+    bankEpoch_.read();
     co_await sim_.delay(dramAccessTime(bytes));
 }
 
@@ -124,6 +131,7 @@ FpgaDevice::bankClear(int bank)
 {
     MOLECULE_ASSERT(bank >= 0 && bank < dramBankCount(),
                     "bank %d out of range", bank);
+    bankEpoch_.fetchAdd(1);
     banks_[std::size_t(bank)].data.clear();
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "hw/calibration.hh"
+#include "sim/analysis.hh"
 #include "sim/sync.hh"
 
 namespace molecule::hw {
@@ -230,6 +231,12 @@ class FpgaDevice
     std::int64_t programCount_ = 0;
     std::int64_t eraseCount_ = 0;
     std::int64_t invokeCount_ = 0;
+    /** Conflict-detector cells: which image is resident, and whether
+     * bank contents changed. A same-tick program()/invoke() (or
+     * bankWrite()/bankPeek()) pair would resolve only by the event
+     * tie-break — exactly what the analysis layer reports. */
+    sim::analysis::Tracked<std::uint64_t> imageEpoch_{0, "fpga.image"};
+    sim::analysis::Tracked<std::uint64_t> bankEpoch_{0, "fpga.dram"};
 };
 
 } // namespace molecule::hw

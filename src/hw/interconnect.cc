@@ -57,7 +57,7 @@ Link::transferLatency(std::uint64_t bytes) const
 sim::Task<>
 Link::transfer(std::uint64_t bytes)
 {
-    bytesMoved_ += bytes;
+    bytesMoved_.fetchAdd(bytes);
     const auto base = transferLatency(bytes);
     const auto jittered = base * sim_.rng().jitter(params_.jitterRel);
     co_await sim_.delay(jittered);

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "hw/calibration.hh"
+#include "sim/analysis.hh"
 #include "sim/sync.hh"
 
 namespace molecule::hw {
@@ -60,12 +61,14 @@ class Link
     sim::Task<> transfer(std::uint64_t bytes);
 
     /** Total bytes moved (stats). */
-    std::uint64_t bytesMoved() const { return bytesMoved_; }
+    std::uint64_t bytesMoved() const { return bytesMoved_.peek(); }
 
   private:
     sim::Simulation &sim_;
     LinkParams params_;
-    std::uint64_t bytesMoved_ = 0;
+    /** Tracked: two same-tick transfers on one link are ordered only
+     * by the event tie-break (matters once contention is modelled). */
+    sim::analysis::Tracked<std::uint64_t> bytesMoved_{0, "link.bytes"};
 };
 
 /**

@@ -44,7 +44,7 @@ LocalOs::spawnProcess(const std::string &name, std::uint64_t privateBytes)
         !space.mapPrivate(owned_name + "/image", privateBytes)) {
         co_return nullptr; // admission failure
     }
-    const Pid pid = nextPid_++;
+    const Pid pid = nextPid_.fetchAdd(1);
     auto proc = std::make_unique<Process>(*this, pid,
                                           std::move(owned_name),
                                           std::move(space));
@@ -63,7 +63,7 @@ LocalOs::fork(Process &parent, const std::string &childName)
     co_await swDelay(calib::kForkCost);
     AddressSpace space = makeAddressSpace();
     parent.addressSpace().forkInto(space);
-    const Pid pid = nextPid_++;
+    const Pid pid = nextPid_.fetchAdd(1);
     auto proc = std::make_unique<Process>(*this, pid,
                                           std::move(owned_name),
                                           std::move(space));

@@ -20,6 +20,7 @@
 #include "os/container.hh"
 #include "os/fifo.hh"
 #include "os/process.hh"
+#include "sim/analysis.hh"
 
 namespace molecule::os {
 
@@ -106,7 +107,9 @@ class LocalOs
     ContainerManager containers_;
     std::map<Pid, std::unique_ptr<Process>> procs_;
     std::map<std::string, std::unique_ptr<LocalFifo>> fifos_;
-    Pid nextPid_ = 100;
+    /** Pid allocation order is visible in results (tracked: two
+     * same-tick spawns would race on it via the seq tie-break). */
+    sim::analysis::Tracked<Pid> nextPid_{100, "os.nextPid"};
 };
 
 } // namespace molecule::os

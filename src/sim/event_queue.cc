@@ -68,6 +68,23 @@ EventQueue::nextTime() const
     return SimTime(heap_.front().when);
 }
 
+std::uint64_t
+EventQueue::nextEventSeq() const
+{
+    MOLECULE_ASSERT(live_ > 0, "nextEventSeq() on empty event queue");
+    return heap_.front().seq;
+}
+
+std::uint64_t
+EventQueue::seqOfEvent(EventId id) const
+{
+    const std::uint32_t slot = std::uint32_t(id & 0xffffffffu);
+    const std::uint32_t gen = std::uint32_t(id >> 32);
+    if (slot >= slotCount_ || slotAt(slot).generation != gen)
+        return 0;
+    return slotAt(slot).seq;
+}
+
 std::pair<SimTime, InlineCallback>
 EventQueue::popNext()
 {

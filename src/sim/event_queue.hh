@@ -82,6 +82,15 @@ class EventQueue
     /** Timestamp of the next live event. Queue must not be empty. */
     SimTime nextTime() const;
 
+    /** Schedule sequence of the next live event (tie-break key). */
+    std::uint64_t nextEventSeq() const;
+
+    /** Sequence assigned by the most recent schedule() call. */
+    std::uint64_t lastScheduledSeq() const { return nextSeq_ - 1; }
+
+    /** Sequence of a pending event; 0 when @p id is stale/invalid. */
+    std::uint64_t seqOfEvent(EventId id) const;
+
     /**
      * Pop the next live event without running it, so the driver can
      * advance the clock to the event's timestamp before executing the

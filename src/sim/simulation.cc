@@ -28,6 +28,18 @@ Simulation::step()
     // Advance the clock *before* running the callback so resumed
     // coroutines observe the firing time.
     now_ = events_.nextTime();
+#if MOLECULE_DETERMINISM_ANALYSIS
+    if (log_) {
+        log_->beginEvent(now_.raw(), events_.nextEventSeq());
+        // Install the log for the duration of the callback so
+        // Tracked<T> accesses anywhere in the model attribute to this
+        // event; restored before returning (Scope nests for recursive
+        // run() calls).
+        analysis::AccessLog::Scope scope(log_.get());
+        events_.fireNext();
+        return true;
+    }
+#endif
     events_.fireNext();
     return true;
 }

@@ -12,7 +12,9 @@
 #define MOLECULE_SIM_SIMULATION_HH
 
 #include <coroutine>
+#include <memory>
 
+#include "sim/analysis.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 #include "sim/task.hh"
@@ -49,11 +51,26 @@ class Simulation
     EventId
     schedule(SimTime after, InlineCallback fn)
     {
-        return events_.schedule(now_ + after, std::move(fn));
+        const EventId id = events_.schedule(now_ + after, std::move(fn));
+        noteScheduled();
+        return id;
     }
 
     /** Cancel an event scheduled via schedule(). */
-    bool cancel(EventId id) { return events_.cancel(id); }
+    bool
+    cancel(EventId id)
+    {
+#if MOLECULE_DETERMINISM_ANALYSIS
+        if (log_) {
+            const std::uint64_t seq = events_.seqOfEvent(id);
+            const bool cancelled = events_.cancel(id);
+            if (cancelled && seq != 0)
+                log_->dropScheduled(seq);
+            return cancelled;
+        }
+#endif
+        return events_.cancel(id);
+    }
 
     /** Start a root task; its frame self-destroys when it completes. */
     void
@@ -79,6 +96,7 @@ class Simulation
                 // Fast path: the handle is stored directly in the
                 // event slot — no closure, no allocation.
                 sim->events_.schedule(sim->now_ + amount, h);
+                sim->noteScheduled();
             }
 
             void await_resume() const noexcept {}
@@ -94,6 +112,7 @@ class Simulation
     scheduleResume(std::coroutine_handle<> h)
     {
         events_.schedule(now_, h);
+        noteScheduled();
     }
 
     /** Run until the event set drains. @return final simulated time. */
@@ -108,10 +127,46 @@ class Simulation
     /** Number of pending events (diagnostics). */
     std::size_t pendingEvents() const { return events_.size(); }
 
+#if MOLECULE_DETERMINISM_ANALYSIS
+    /** @name Sim-time conflict detector (see sim/analysis.hh) */
+    ///@{
+
+    /**
+     * Start recording Tracked<T> accesses into a fresh AccessLog.
+     * Events already pending when tracking starts are treated as
+     * same-instant scheduled (never reported).
+     */
+    void
+    enableConflictTracking(
+        std::size_t capacity = analysis::AccessLog::kDefaultCapacity)
+    {
+        log_ = std::make_unique<analysis::AccessLog>(capacity);
+    }
+
+    void stopConflictTracking() { log_.reset(); }
+
+    /** The access log, or nullptr when tracking is off. */
+    analysis::AccessLog *accessLog() { return log_.get(); }
+    ///@}
+#endif
+
   private:
+    /** Tell the detector about the event the queue just accepted. */
+    void
+    noteScheduled()
+    {
+#if MOLECULE_DETERMINISM_ANALYSIS
+        if (log_)
+            log_->noteScheduled(events_.lastScheduledSeq(), now_.raw());
+#endif
+    }
+
     EventQueue events_;
     SimTime now_{0};
     Rng rng_;
+#if MOLECULE_DETERMINISM_ANALYSIS
+    std::unique_ptr<analysis::AccessLog> log_;
+#endif
 };
 
 } // namespace molecule::sim

@@ -28,7 +28,7 @@ SweepRunner::~SweepRunner()
 }
 
 void
-SweepRunner::forEach(std::size_t count,
+SweepRunner::forEach(std::size_t count, // det:allow(std-function-in-sim)
                      const std::function<void(std::size_t)> &body)
 {
     if (count == 0)

@@ -60,7 +60,9 @@ class SweepRunner
      * finish. Rethrows the first replica exception (remaining replicas
      * are skipped, in-flight ones finish first).
      */
-    void forEach(std::size_t count,
+    // One type-erased callable per *batch*, not per event: this is the
+    // cold fan-out path, far from the DES hot path the rule protects.
+    void forEach(std::size_t count, // det:allow(std-function-in-sim)
                  const std::function<void(std::size_t)> &body);
 
     /**
@@ -81,6 +83,7 @@ class SweepRunner
     /** One fan-out: workers race on next_ until it reaches count_. */
     struct Batch
     {
+        // det:allow(std-function-in-sim) — per-batch, see forEach.
         const std::function<void(std::size_t)> *body = nullptr;
         std::size_t count = 0;
         std::atomic<std::size_t> next{0};

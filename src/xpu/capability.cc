@@ -55,6 +55,7 @@ CapabilityStore::allocateId()
 void
 CapabilityStore::registerObject(const DistributedObject &obj)
 {
+    version_.fetchAdd(1);
     objects_[obj.id] = obj;
     if (!obj.uuid.empty())
         byUuid_[obj.uuid] = obj.id;
@@ -66,6 +67,7 @@ CapabilityStore::removeObject(ObjId id)
     auto it = objects_.find(id);
     if (it == objects_.end())
         return;
+    version_.fetchAdd(1);
     if (!it->second.uuid.empty())
         byUuid_.erase(it->second.uuid);
     objects_.erase(it);
@@ -74,6 +76,7 @@ CapabilityStore::removeObject(ObjId id)
 void
 CapabilityStore::applyGrant(XpuPid pid, ObjId obj, Perm perm)
 {
+    version_.fetchAdd(1);
     auto [it, inserted] = groups_.try_emplace(pid.encode(), pid);
     (void)inserted;
     it->second.add(obj, perm);
@@ -82,6 +85,7 @@ CapabilityStore::applyGrant(XpuPid pid, ObjId obj, Perm perm)
 void
 CapabilityStore::applyRevoke(XpuPid pid, ObjId obj, Perm perm)
 {
+    version_.fetchAdd(1);
     auto it = groups_.find(pid.encode());
     if (it == groups_.end())
         return;
@@ -91,6 +95,7 @@ CapabilityStore::applyRevoke(XpuPid pid, ObjId obj, Perm perm)
 const DistributedObject *
 CapabilityStore::findObject(ObjId id) const
 {
+    version_.read();
     auto it = objects_.find(id);
     return it == objects_.end() ? nullptr : &it->second;
 }
@@ -98,6 +103,7 @@ CapabilityStore::findObject(ObjId id) const
 const DistributedObject *
 CapabilityStore::findByUuid(const std::string &uuid) const
 {
+    version_.read();
     auto it = byUuid_.find(uuid);
     return it == byUuid_.end() ? nullptr : findObject(it->second);
 }
@@ -111,6 +117,7 @@ CapabilityStore::check(XpuPid pid, ObjId obj, Perm need) const
 Perm
 CapabilityStore::lookup(XpuPid pid, ObjId obj) const
 {
+    version_.read();
     auto it = groups_.find(pid.encode());
     return it == groups_.end() ? Perm::None : it->second.lookup(obj);
 }

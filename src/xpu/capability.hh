@@ -15,6 +15,7 @@
 #include <map>
 #include <string>
 
+#include "sim/analysis.hh"
 #include "xpu/types.hh"
 
 namespace molecule::xpu {
@@ -120,6 +121,11 @@ class CapabilityStore
     std::map<ObjId, DistributedObject> objects_;
     std::map<std::string, ObjId> byUuid_;
     std::map<std::uint64_t, CapGroup> groups_; // key: XpuPid::encode()
+    /** Replica version: bumped by every replicated-state update, read
+     * by every local query. A same-tick update/check pair on one
+     * replica depends only on the event tie-break — the exact hazard
+     * behind "immediate synchronization" (§5). */
+    sim::analysis::Tracked<std::uint64_t> version_{0, "xpu.caps"};
 };
 
 } // namespace molecule::xpu

@@ -106,6 +106,7 @@ XpuShim::enqueueLazy(const SyncMessage &msg)
     // remote state is harmless for reclamation; batching amortizes the
     // wire cost.
     co_await applySync(msg);
+    lazyEpoch_.fetchAdd(1);
     lazyQueue_.push_back(msg);
     if (lazyQueue_.size() >= kLazyBatch)
         co_await flushLazy();
@@ -116,6 +117,7 @@ XpuShim::flushLazy()
 {
     if (lazyQueue_.empty())
         co_return;
+    lazyEpoch_.fetchAdd(1);
     std::vector<SyncMessage> batch;
     batch.swap(lazyQueue_);
     std::uint64_t bytes = 0;

@@ -200,6 +200,9 @@ class XpuShim
     CapabilityStore caps_;
     std::map<ObjId, HomedFifo> queues_;
     std::vector<SyncMessage> lazyQueue_;
+    /** Tracked: a same-tick enqueue/flush pair changes which batch a
+     * lazy update rides in, decided only by the event tie-break. */
+    sim::analysis::Tracked<std::uint64_t> lazyEpoch_{0, "xpu.lazyQueue"};
     std::int64_t xpucalls_ = 0;
     std::int64_t syncSent_ = 0;
 };

@@ -24,11 +24,18 @@ using core::MoleculeOptions;
 using hw::PuType;
 using workloads::Catalog;
 
-/** One full cold+warm+chain scenario; returns a latency fingerprint. */
+/** One full cold+warm+chain scenario; returns a latency fingerprint.
+ * @param conflictsOut when non-null, the run executes with the
+ * sim-time conflict detector enabled and reports its conflict count. */
 std::vector<std::int64_t>
-scenario(std::uint64_t seed)
+scenario(std::uint64_t seed, std::size_t *conflictsOut = nullptr)
 {
     sim::Simulation sim(seed);
+    (void)conflictsOut; // only consulted when analysis is compiled in
+#if MOLECULE_DETERMINISM_ANALYSIS
+    if (conflictsOut)
+        sim.enableConflictTracking();
+#endif
     auto computer = hw::buildCpuDpuServer(sim, 2,
                                           hw::DpuGeneration::Bf1);
     Molecule runtime(*computer, MoleculeOptions{});
@@ -52,6 +59,10 @@ scenario(std::uint64_t seed)
     fingerprint.push_back(rec.endToEnd.raw());
     for (const auto &edge : rec.edgeLatencies)
         fingerprint.push_back(edge.raw());
+#if MOLECULE_DETERMINISM_ANALYSIS
+    if (conflictsOut)
+        *conflictsOut = sim.accessLog()->findConflicts().size();
+#endif
     return fingerprint;
 }
 
@@ -103,6 +114,30 @@ TEST(Determinism, GoldenTraceDigestHoldsUnderSweepRunner)
     for (std::size_t i = 0; i < std::size(seeds); ++i)
         EXPECT_EQ(digests[i], golden[i]) << "replica " << i;
 }
+
+#if MOLECULE_DETERMINISM_ANALYSIS
+// The conflict detector is an observer: with tracking enabled the full
+// scenario must (a) report zero same-tick conflicts — the shipped
+// model state never depends on the schedule-sequence tie-break — and
+// (b) reproduce the exact golden digests, i.e. observation does not
+// perturb the simulation.
+TEST(Determinism, ConflictTrackingIsCleanAndNonPerturbing)
+{
+    const std::pair<std::uint64_t, std::uint64_t> golden[] = {
+        {42, 0x582305e76012b3f7ULL},
+        {7, 0x2dacb53306886fbcULL},
+        {1, 0x799fabc445a22749ULL},
+    };
+    for (const auto &[seed, digest] : golden) {
+        std::size_t conflicts = 0;
+        sim::Fingerprint fp;
+        for (auto v : scenario(seed, &conflicts))
+            fp.mix(static_cast<std::uint64_t>(v));
+        EXPECT_EQ(conflicts, 0u) << "seed " << seed;
+        EXPECT_EQ(fp.digest(), digest) << "seed " << seed;
+    }
+}
+#endif
 
 TEST(Determinism, DifferentSeedsDifferOnlyInJitter)
 {
