@@ -20,6 +20,7 @@
 
 #include "core/molecule.hh"
 #include "hw/computer.hh"
+#include "obs/registry.hh"
 #include "sim/stats.hh"
 #include "sim/table.hh"
 
@@ -75,13 +76,16 @@ class PerfSnapshot
     /**
      * Record a measured value for @p name. Repeated records (e.g.
      * --benchmark_repetitions) keep the fastest run: for a throughput
-     * metric the max is the least-interference estimate.
+     * metric the max is the least-interference estimate. Every sample
+     * also feeds a distribution so the snapshot can report run-to-run
+     * spread (p50/p95/p99) next to the headline value.
      */
     void
     record(const std::string &name, double value)
     {
         auto &e = entry(name);
         e.value = std::max(e.value, value);
+        e.samples.add(value);
     }
 
     /** Write the snapshot as JSON. @retval false open/write failed. */
@@ -103,6 +107,20 @@ class PerfSnapshot
                              ",\n      \"speedup\": %.3f",
                              e.baseline, e.value / e.baseline);
             }
+            // Spread only means something with repetitions; a single
+            // sample would just echo the value three times.
+            if (e.samples.count() > 1) {
+                std::fprintf(f,
+                             ",\n      \"samples\": %llu"
+                             ",\n      \"p50\": %.1f"
+                             ",\n      \"p95\": %.1f"
+                             ",\n      \"p99\": %.1f",
+                             static_cast<unsigned long long>(
+                                 e.samples.count()),
+                             e.samples.percentile(50),
+                             e.samples.percentile(95),
+                             e.samples.percentile(99));
+            }
             std::fprintf(f, "\n    }");
             sep = ",\n";
         }
@@ -116,6 +134,8 @@ class PerfSnapshot
         std::string name;
         double value = 0.0;
         double baseline = 0.0;
+        /** All recorded samples (run-to-run spread). */
+        obs::Histogram samples;
     };
 
     Entry &
@@ -124,7 +144,7 @@ class PerfSnapshot
         for (auto &e : entries_)
             if (e.name == name)
                 return e;
-        entries_.push_back(Entry{name, 0.0, 0.0});
+        entries_.push_back(Entry{name, 0.0, 0.0, {}});
         return entries_.back();
     }
 

@@ -46,6 +46,8 @@ struct RunContext
     const std::vector<int> *placement = nullptr;
     DagCommMode mode = DagCommMode::MoleculeIpc;
     int managerPu = 0;
+    /** Causal root for every span of this chain execution. */
+    obs::SpanContext trace;
     std::vector<DagEngine::Endpoint> eps;
     /** Gateway-side client used for the entry edge. */
     std::unique_ptr<xpu::XpuClient> gatewayClient;
@@ -69,7 +71,8 @@ dispatchCost(const FunctionDef &def, DagCommMode mode)
  * instance, charging the full path of the selected mode.
  */
 sim::Task<>
-edgeTransfer(RunContext *ctx, int fromNode, int toNode)
+edgeTransfer(RunContext *ctx, int fromNode, int toNode,
+             obs::SpanContext spanCtx)
 {
     auto &to = ctx->eps[std::size_t(toNode)];
     const int fromPu = fromNode < 0
@@ -84,7 +87,8 @@ edgeTransfer(RunContext *ctx, int fromNode, int toNode)
         co_await fromOs.simulation().delay(
             fromOs.pu().netCost(calib::kHttpEdgeEndpointCost));
         co_await ctx->dep->computer().topology().transfer(fromPu, to.pu,
-                                                          bytes);
+                                                          bytes,
+                                                          spanCtx);
         co_await toOs.simulation().delay(
             toOs.pu().netCost(calib::kHttpEdgeEndpointCost));
     } else {
@@ -124,8 +128,11 @@ edgeTransfer(RunContext *ctx, int fromNode, int toNode)
             toOs.pu().netCost(calib::kIpcSerializeCost));
     }
     // Receiver-side per-request dispatch (HTTP router vs FIFO loop).
-    co_await toOs.simulation().delay(
-        toOs.pu().netCost(dispatchCost(*to.def, ctx->mode)));
+    {
+        obs::Span disp(spanCtx, "os.dispatch", obs::Layer::Os, to.pu);
+        co_await toOs.simulation().delay(
+            toOs.pu().netCost(dispatchCost(*to.def, ctx->mode)));
+    }
 }
 
 /** Execute node @p idx and fan out to its children. */
@@ -136,15 +143,24 @@ runNode(RunContext *ctx, int idx, sim::SimTime upstreamDone)
     auto &sim = ctx->dep->simulation();
     const int parent = ctx->spec->nodes[std::size_t(idx)].parent;
 
-    co_await edgeTransfer(ctx, parent, idx);
+    // One span per node invocation, parented on the chain root; the
+    // edge + dispatch work nests under a "comm" child (Fig 12 path).
+    obs::Span span(ctx->trace, "invoke", obs::Layer::Core, ep.pu);
+    span.setDetail(ctx->spec->nodes[std::size_t(idx)].fn.c_str());
+    {
+        obs::Span comm(span.ctx(), "comm", obs::Layer::Core, ep.pu);
+        co_await edgeTransfer(ctx, parent, idx, comm.ctx());
+    }
     ctx->edgeLatency[std::size_t(idx)] = sim.now() - upstreamDone;
 
     const auto exec = ep.acq.cold
                           ? ep.def->cpuWork->execCost *
                                 ep.def->cpuWork->coldExecFactor
                           : ep.def->cpuWork->execCost;
-    co_await ctx->dep->runcOn(ep.pu).invoke(ep.acq.instance->id, exec);
+    co_await ctx->dep->runcOn(ep.pu).invoke(ep.acq.instance->id, exec,
+                                            span.ctx());
     ctx->execEnd[std::size_t(idx)] = sim.now();
+    span.finish();
 
     std::vector<sim::Task<>> kids;
     kids.reserve(ctx->children[std::size_t(idx)].size());
@@ -157,26 +173,28 @@ runNode(RunContext *ctx, int idx, sim::SimTime upstreamDone)
 
 sim::Task<ChainRecord>
 DagEngine::run(const ChainSpec &spec, const std::vector<int> &placement,
-               DagCommMode mode, bool prewarm, int managerPu)
+               DagCommMode mode, bool prewarm, int managerPu,
+               obs::SpanContext ctx)
 {
     MOLECULE_ASSERT(placement.size() == spec.nodes.size(),
                     "placement size mismatch");
     auto &sim = dep_.simulation();
 
-    RunContext ctx;
-    ctx.engine = this;
-    ctx.dep = &dep_;
-    ctx.spec = &spec;
-    ctx.placement = &placement;
-    ctx.mode = mode;
-    ctx.managerPu = managerPu;
-    ctx.eps.resize(spec.nodes.size());
-    ctx.edgeLatency.resize(spec.nodes.size());
-    ctx.execEnd.resize(spec.nodes.size());
-    ctx.children.resize(spec.nodes.size());
+    RunContext run;
+    run.engine = this;
+    run.dep = &dep_;
+    run.spec = &spec;
+    run.placement = &placement;
+    run.mode = mode;
+    run.managerPu = managerPu;
+    run.trace = ctx;
+    run.eps.resize(spec.nodes.size());
+    run.edgeLatency.resize(spec.nodes.size());
+    run.execEnd.resize(spec.nodes.size());
+    run.children.resize(spec.nodes.size());
     for (std::size_t i = 0; i < spec.nodes.size(); ++i)
         if (spec.nodes[i].parent >= 0)
-            ctx.children[std::size_t(spec.nodes[i].parent)].push_back(
+            run.children[std::size_t(spec.nodes[i].parent)].push_back(
                 int(i));
 
     const sim::SimTime setupStart = sim.now();
@@ -184,10 +202,10 @@ DagEngine::run(const ChainSpec &spec, const std::vector<int> &placement,
     // Acquire all instances (pre-boot when prewarm).
     for (std::size_t i = 0; i < spec.nodes.size(); ++i) {
         const FunctionDef &def = registry_.find(spec.nodes[i].fn);
-        auto &ep = ctx.eps[i];
+        auto &ep = run.eps[i];
         ep.def = &def;
         ep.pu = placement[i];
-        ep.acq = co_await startup_.acquire(def, ep.pu, managerPu);
+        ep.acq = co_await startup_.acquire(def, ep.pu, managerPu, ctx);
         MOLECULE_ASSERT(ep.acq.instance != nullptr,
                         "chain instance acquisition failed");
     }
@@ -196,19 +214,21 @@ DagEngine::run(const ChainSpec &spec, const std::vector<int> &placement,
     if (mode == DagCommMode::MoleculeIpc) {
         // Gateway-side process for the entry edge.
         os::Process *gw = co_await dep_.osOn(managerPu).spawnProcess(
-            "gateway/" + spec.name, 1 << 20);
+            "gateway/" + spec.name, 1 << 20, ctx);
         MOLECULE_ASSERT(gw != nullptr, "gateway spawn failed");
-        ctx.gatewayClient = std::make_unique<xpu::XpuClient>(
+        run.gatewayClient = std::make_unique<xpu::XpuClient>(
             dep_.shimOn(managerPu), *gw);
+        run.gatewayClient->setTraceContext(ctx);
 
-        for (std::size_t i = 0; i < ctx.eps.size(); ++i) {
-            auto &ep = ctx.eps[i];
+        for (std::size_t i = 0; i < run.eps.size(); ++i) {
+            auto &ep = run.eps[i];
             ep.fifoName = "self/" + spec.name + "/" +
                           std::to_string(nextUuid_++);
             ep.localFifo =
                 dep_.osOn(ep.pu).createFifo(ep.fifoName + "/local");
             ep.client = std::make_unique<xpu::XpuClient>(
                 dep_.shimOn(ep.pu), *ep.acq.instance->proc);
+            ep.client->setTraceContext(ctx);
             auto fd = co_await ep.client->xfifoInit(ep.fifoName);
             MOLECULE_ASSERT(fd.status == xpu::XpuStatus::Ok,
                             "xfifo init failed");
@@ -216,17 +236,17 @@ DagEngine::run(const ChainSpec &spec, const std::vector<int> &placement,
         }
         // Connect writers: parent -> child (and gateway -> root) when
         // the edge crosses PUs; the owner grants Write first.
-        for (std::size_t i = 0; i < ctx.eps.size(); ++i) {
-            auto &child = ctx.eps[i];
+        for (std::size_t i = 0; i < run.eps.size(); ++i) {
+            auto &child = run.eps[i];
             const int parent = spec.nodes[i].parent;
             const int fromPu = parent < 0
                                    ? managerPu
-                                   : ctx.eps[std::size_t(parent)].pu;
+                                   : run.eps[std::size_t(parent)].pu;
             if (fromPu == child.pu)
                 continue;
             xpu::XpuClient *writer =
-                parent < 0 ? ctx.gatewayClient.get()
-                           : ctx.eps[std::size_t(parent)].client.get();
+                parent < 0 ? run.gatewayClient.get()
+                           : run.eps[std::size_t(parent)].client.get();
             const xpu::ObjId obj = child.client->objectOf(child.selfFd);
             auto st = co_await child.client->grantCap(
                 writer->xpuPid(), obj, xpu::Perm::Write);
@@ -238,35 +258,37 @@ DagEngine::run(const ChainSpec &spec, const std::vector<int> &placement,
             if (parent < 0)
                 child.peerFds[-1] = fd.fd;
             else
-                ctx.eps[std::size_t(parent)].peerFds[int(i)] = fd.fd;
+                run.eps[std::size_t(parent)].peerFds[int(i)] = fd.fd;
         }
     }
 
     const sim::SimTime t0 = prewarm ? sim.now() : setupStart;
-    co_await runNode(&ctx, 0, t0);
+    co_await runNode(&run, 0, t0);
 
     ChainRecord record;
     record.chain = spec.name;
+    record.traceId = ctx.trace;
     sim::SimTime finish = t0;
-    for (std::size_t i = 0; i < ctx.execEnd.size(); ++i)
-        finish = std::max(finish, ctx.execEnd[i]);
+    for (std::size_t i = 0; i < run.execEnd.size(); ++i)
+        finish = std::max(finish, run.execEnd[i]);
     record.endToEnd = finish - t0;
     for (std::size_t i = 0; i < spec.nodes.size(); ++i) {
         if (spec.nodes[i].parent >= 0)
-            record.edgeLatencies.push_back(ctx.edgeLatency[i]);
+            record.edgeLatencies.push_back(run.edgeLatency[i]);
         InvocationRecord inv;
         inv.function = spec.nodes[i].fn;
-        inv.pu = ctx.eps[i].pu;
-        inv.coldStart = ctx.eps[i].acq.cold;
-        inv.startup = ctx.eps[i].acq.startupTime;
-        inv.communication = ctx.edgeLatency[i];
-        inv.execution = ctx.eps[i].def->cpuWork->execCost;
+        inv.traceId = ctx.trace;
+        inv.pu = run.eps[i].pu;
+        inv.coldStart = run.eps[i].acq.cold;
+        inv.startup = run.eps[i].acq.startupTime;
+        inv.communication = run.edgeLatency[i];
+        inv.execution = run.eps[i].def->cpuWork->execCost;
         record.invocations.push_back(std::move(inv));
     }
 
     // Return instances to the keep-alive cache; drop comm plumbing.
-    for (std::size_t i = 0; i < ctx.eps.size(); ++i) {
-        auto &ep = ctx.eps[i];
+    for (std::size_t i = 0; i < run.eps.size(); ++i) {
+        auto &ep = run.eps[i];
         if (ep.client && ep.selfFd >= 0)
             (void)co_await ep.client->xfifoClose(ep.selfFd);
         if (ep.localFifo)
@@ -279,7 +301,7 @@ DagEngine::run(const ChainSpec &spec, const std::vector<int> &placement,
 sim::Task<ChainRecord>
 DagEngine::runFpgaChain(const std::vector<std::string> &fns,
                         int fpgaIndex, bool shmOptimization,
-                        std::uint64_t messageBytes)
+                        std::uint64_t messageBytes, obs::SpanContext ctx)
 {
     std::vector<std::string> owned_fns = fns;
     auto &sim = dep_.simulation();
@@ -290,7 +312,7 @@ DagEngine::runFpgaChain(const std::vector<std::string> &fns,
     startup_.setFpgaHotSet(fpgaIndex, owned_fns);
     for (const auto &fn : owned_fns) {
         const FunctionDef &def = registry_.find(fn);
-        (void)co_await startup_.acquireFpga(def, fpgaIndex);
+        (void)co_await startup_.acquireFpga(def, fpgaIndex, ctx);
     }
 
     const sim::SimTime t0 = sim.now();
@@ -304,7 +326,7 @@ DagEngine::runFpgaChain(const std::vector<std::string> &fns,
         co_await runf.invoke("fpga/" + owned_fns[i],
                              def.fpgaWork->kernelTime(messageBytes),
                              messageBytes, messageBytes, zeroIn,
-                             zeroOut);
+                             zeroOut, ctx);
         if (i > 0)
             record.edgeLatencies.push_back(sim.now() - prevDone);
         prevDone = sim.now();

@@ -84,7 +84,8 @@ class DagEngine
     sim::Task<ChainRecord> run(const ChainSpec &spec,
                                const std::vector<int> &placement,
                                DagCommMode mode, bool prewarm,
-                               int managerPu = 0);
+                               int managerPu = 0,
+                               obs::SpanContext ctx = {});
 
     /**
      * Run a linear chain of FPGA functions on one card (Fig 13).
@@ -94,7 +95,8 @@ class DagEngine
      */
     sim::Task<ChainRecord> runFpgaChain(
         const std::vector<std::string> &fns, int fpgaIndex,
-        bool shmOptimization, std::uint64_t messageBytes);
+        bool shmOptimization, std::uint64_t messageBytes,
+        obs::SpanContext ctx = {});
 
     /** Per-node communication plumbing (defined in dag.cc). */
     struct Endpoint;

@@ -1,44 +1,20 @@
 /**
  * @file
- * Measurement records produced by the Molecule runtime.
+ * Compatibility aliases: the measurement records moved to
+ * obs/records.hh (the observability subsystem). This header keeps the
+ * old `core::` spellings working for one PR; include obs/records.hh
+ * directly in new code.
  */
 
 #ifndef MOLECULE_CORE_METRICS_HH
 #define MOLECULE_CORE_METRICS_HH
 
-#include <string>
-#include <vector>
-
-#include "sim/time.hh"
+#include "obs/records.hh"
 
 namespace molecule::core {
 
-/** Timing breakdown of one function invocation. */
-struct InvocationRecord
-{
-    std::string function;
-    /** PU (or accelerator host PU) the instance ran on. */
-    int pu = -1;
-    bool coldStart = false;
-    /** Sandbox acquisition (zero on a warm hit). */
-    sim::SimTime startup;
-    /** Request delivery into the instance. */
-    sim::SimTime communication;
-    /** Function body execution. */
-    sim::SimTime execution;
-    /** startup + communication + execution. */
-    sim::SimTime endToEnd;
-};
-
-/** Timing of one DAG/chain execution. */
-struct ChainRecord
-{
-    std::string chain;
-    sim::SimTime endToEnd;
-    /** Inter-function latency per edge, in chain-edge order. */
-    std::vector<sim::SimTime> edgeLatencies;
-    std::vector<InvocationRecord> invocations;
-};
+using InvocationRecord = obs::InvocationRecord;
+using ChainRecord = obs::ChainRecord;
 
 } // namespace molecule::core
 

@@ -100,14 +100,32 @@ Molecule::invoke(const std::string &fn, int pu)
     InvocationRecord rec;
     rec.function = owned_fn;
 
-    int target = pu >= 0 ? pu : scheduler_->pickPu(def);
+    // Root span of this invocation's trace: gateway admission and
+    // scheduler placement happen inside the runtime process on the
+    // manager PU before any simulated time passes.
+    obs::Span root = obs::Span::root(options_.tracer, "invoke",
+                                     obs::Layer::Core,
+                                     options_.managerPu);
+    root.setDetail(owned_fn.c_str());
+    rec.traceId = root.traceId();
+
+    int target;
+    {
+        obs::Span admit(root.ctx(), "gateway.admit", obs::Layer::Core,
+                        options_.managerPu);
+        obs::Span place(root.ctx(), "sched.place", obs::Layer::Core,
+                        options_.managerPu);
+        target = pu >= 0 ? pu : scheduler_->pickPu(def);
+        place.setArg(target);
+    }
     MOLECULE_ASSERT(target >= 0, "no PU can admit '%s'",
                     owned_fn.c_str());
     rec.pu = target;
 
     const auto t0 = sim.now();
     AcquiredInstance acq =
-        co_await startup_->acquire(def, target, options_.managerPu);
+        co_await startup_->acquire(def, target, options_.managerPu,
+                                   root.ctx());
     MOLECULE_ASSERT(acq.instance != nullptr, "admission failed for '%s'",
                     owned_fn.c_str());
     rec.coldStart = acq.cold;
@@ -116,21 +134,29 @@ Molecule::invoke(const std::string &fn, int pu)
     // Request delivery from the runtime into the instance.
     const auto commStart = sim.now();
     auto &os = dep_->osOn(target);
-    if (options_.managerPu != target) {
-        co_await dep_->shimNet().transfer(options_.managerPu, target,
-                                          def.cpuWork->msgBytes);
-    }
-    const bool isNode =
-        def.cpuWork->image.language == sandbox::Language::Node;
-    if (options_.dagMode == DagCommMode::BaselineHttp) {
-        co_await sim.delay(os.pu().netCost(
-            calib::kHttpEdgeEndpointCost +
-            (isNode ? calib::kExpressDispatch : calib::kFlaskDispatch)));
-    } else {
-        co_await sim.delay(os.pu().netCost(
-            calib::kIpcSerializeCost +
-            (isNode ? calib::kFifoDispatchNode
-                    : calib::kFifoDispatchPython)));
+    {
+        obs::Span comm(root.ctx(), "comm", obs::Layer::Core, target);
+        if (options_.managerPu != target) {
+            co_await dep_->shimNet().transfer(options_.managerPu,
+                                              target,
+                                              def.cpuWork->msgBytes,
+                                              comm.ctx());
+        }
+        const bool isNode =
+            def.cpuWork->image.language == sandbox::Language::Node;
+        obs::Span disp(comm.ctx(), "os.dispatch", obs::Layer::Os,
+                       target);
+        if (options_.dagMode == DagCommMode::BaselineHttp) {
+            co_await sim.delay(os.pu().netCost(
+                calib::kHttpEdgeEndpointCost +
+                (isNode ? calib::kExpressDispatch
+                        : calib::kFlaskDispatch)));
+        } else {
+            co_await sim.delay(os.pu().netCost(
+                calib::kIpcSerializeCost +
+                (isNode ? calib::kFifoDispatchNode
+                        : calib::kFifoDispatchPython)));
+        }
     }
     rec.communication = sim.now() - commStart;
 
@@ -139,10 +165,14 @@ Molecule::invoke(const std::string &fn, int pu)
                           ? def.cpuWork->execCost *
                                 def.cpuWork->coldExecFactor
                           : def.cpuWork->execCost;
-    co_await dep_->runcOn(target).invoke(acq.instance->id, exec);
+    co_await dep_->runcOn(target).invoke(acq.instance->id, exec,
+                                         root.ctx());
     rec.execution = sim.now() - execStart;
     rec.endToEnd = sim.now() - t0;
 
+    // The measured window ends here; the keep-alive release below is
+    // runtime bookkeeping and must not stretch the root span.
+    root.finish();
     co_await startup_->release(def, acq);
     co_return rec;
 }
@@ -173,8 +203,14 @@ Molecule::invokeFpga(const std::string &fn, int fpgaIndex,
     rec.function = owned_fn;
     rec.pu = dep_->computer().fpga(fpgaIndex).hostPuId();
 
+    obs::Span root = obs::Span::root(options_.tracer, "invoke",
+                                     obs::Layer::Core, rec.pu);
+    root.setDetail(owned_fn.c_str());
+    rec.traceId = root.traceId();
+
     const auto t0 = sim.now();
-    AcquiredFpga acq = co_await startup_->acquireFpga(def, fpgaIndex);
+    AcquiredFpga acq =
+        co_await startup_->acquireFpga(def, fpgaIndex, root.ctx());
     rec.coldStart = acq.cold;
     rec.startup = acq.startupTime;
 
@@ -182,7 +218,7 @@ Molecule::invokeFpga(const std::string &fn, int fpgaIndex,
     co_await dep_->runf(fpgaIndex).invoke(
         acq.sandboxId, def.fpgaWork->kernelTime(units),
         def.fpgaWork->dmaInBytes(units), def.fpgaWork->dmaOutBytes(units),
-        false, false);
+        false, false, root.ctx());
     rec.execution = sim.now() - execStart;
     rec.endToEnd = sim.now() - t0;
     co_return rec;
@@ -214,8 +250,14 @@ Molecule::invokeGpu(const std::string &fn, int gpuIndex)
     rec.function = owned_fn;
     rec.pu = dep_->computer().gpuDev(gpuIndex).hostPuId();
 
+    obs::Span root = obs::Span::root(options_.tracer, "invoke",
+                                     obs::Layer::Core, rec.pu);
+    root.setDetail(owned_fn.c_str());
+    rec.traceId = root.traceId();
+
     const auto t0 = sim.now();
-    AcquiredFpga acq = co_await startup_->acquireGpu(def, gpuIndex);
+    AcquiredFpga acq =
+        co_await startup_->acquireGpu(def, gpuIndex, root.ctx());
     rec.coldStart = acq.cold;
     rec.startup = acq.startupTime;
 
@@ -223,7 +265,7 @@ Molecule::invokeGpu(const std::string &fn, int gpuIndex)
     co_await dep_->rung(gpuIndex).invoke(acq.sandboxId,
                                          def.gpuKernelTime,
                                          def.gpuIoBytes,
-                                         def.gpuIoBytes);
+                                         def.gpuIoBytes, root.ctx());
     rec.execution = sim.now() - execStart;
     rec.endToEnd = sim.now() - t0;
     co_return rec;
@@ -250,9 +292,13 @@ Molecule::invokeChain(const ChainSpec &spec, std::vector<int> placement,
     std::vector<int> owned_placement = std::move(placement);
     if (owned_placement.empty())
         owned_placement = scheduler_->placeChain(owned_spec);
+    obs::Span root = obs::Span::root(options_.tracer, "chain",
+                                     obs::Layer::Core,
+                                     options_.managerPu);
+    root.setDetail(owned_spec.name.c_str());
     co_return co_await dag_->run(owned_spec, owned_placement,
                                  options_.dagMode, prewarm,
-                                 options_.managerPu);
+                                 options_.managerPu, root.ctx());
 }
 
 ChainRecord

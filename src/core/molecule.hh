@@ -33,6 +33,7 @@
 #include "core/metrics.hh"
 #include "core/scheduler.hh"
 #include "core/startup.hh"
+#include "obs/trace.hh"
 #include "workloads/catalog.hh"
 
 namespace molecule::core {
@@ -44,6 +45,12 @@ struct MoleculeOptions
     DagCommMode dagMode = DagCommMode::MoleculeIpc;
     /** PU hosting the Molecule runtime process (Figure 6). */
     int managerPu = 0;
+    /**
+     * Span collector for this runtime's invocations (obs subsystem).
+     * Null (the default) disables tracing with zero model impact.
+     * Must outlive the Molecule and belong to the same Simulation.
+     */
+    obs::Tracer *tracer = nullptr;
 
     /** The homogeneous baseline configuration of §6. */
     static MoleculeOptions

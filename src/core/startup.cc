@@ -71,24 +71,30 @@ StartupManager::bootstrap(int managerPu)
 }
 
 sim::Task<>
-StartupManager::commandRoundTrip(int managerPu, int targetPu)
+StartupManager::commandRoundTrip(int managerPu, int targetPu,
+                                 obs::SpanContext ctx)
 {
     if (managerPu == targetPu)
         co_return;
+    obs::Span span(ctx, "nipc.cmd-rtt", obs::Layer::Xpu, managerPu);
     // Command over nIPC, executor-side processing, response back.
-    co_await dep_.shimNet().transfer(managerPu, targetPu, 160);
+    co_await dep_.shimNet().transfer(managerPu, targetPu, 160,
+                                     span.ctx());
     co_await dep_.osOn(targetPu).swDelay(calib::kExecutorCommandCost);
-    co_await dep_.shimNet().transfer(targetPu, managerPu, 64);
+    co_await dep_.shimNet().transfer(targetPu, managerPu, 64,
+                                     span.ctx());
 }
 
 sim::Task<AcquiredInstance>
-StartupManager::acquire(const FunctionDef &fn, int pu, int managerPu)
+StartupManager::acquire(const FunctionDef &fn, int pu, int managerPu,
+                        obs::SpanContext ctx)
 {
     MOLECULE_ASSERT(fn.cpuWork != nullptr,
                     "function '%s' has no CPU/DPU workload",
                     fn.name.c_str());
     auto &sim = dep_.simulation();
     const auto t0 = sim.now();
+    obs::Span span(ctx, "startup", obs::Layer::Core, pu);
     const PoolKey key{fn.name, pu};
 
     ++freq_[key];
@@ -109,7 +115,7 @@ StartupManager::acquire(const FunctionDef &fn, int pu, int managerPu)
 
     // Cold start. Remote targets pay the executor command round-trip.
     ++coldStarts_;
-    co_await commandRoundTrip(managerPu, pu);
+    co_await commandRoundTrip(managerPu, pu, span.ctx());
 
     auto &runc = dep_.runcOn(pu);
     runc.setStartupPath(options_.useCfork
@@ -117,13 +123,18 @@ StartupManager::acquire(const FunctionDef &fn, int pu, int managerPu)
                             : sandbox::StartupPath::ColdBoot);
     const std::string id =
         fn.name + "#" + std::to_string(nextSandboxId_++);
-    sandbox::CreateRequest req{id, &fn.cpuWork->image};
+    sandbox::CreateRequest req{id, &fn.cpuWork->image, span.ctx()};
     const bool created = co_await runc.create(req);
     if (!created) {
         // Admission failure (memory exhausted on this PU).
         co_return AcquiredInstance{};
     }
-    const bool started = co_await runc.start(id);
+    bool started;
+    {
+        obs::Span st(span.ctx(), "sandbox.start", obs::Layer::Sandbox,
+                     pu);
+        started = co_await runc.start(id);
+    }
     MOLECULE_ASSERT(started, "sandbox '%s' failed to start", id.c_str());
 
     AcquiredInstance out;
@@ -246,7 +257,8 @@ StartupManager::setFpgaHotSet(int fpgaIndex,
 }
 
 sim::Task<AcquiredFpga>
-StartupManager::acquireFpga(const FunctionDef &fn, int fpgaIndex)
+StartupManager::acquireFpga(const FunctionDef &fn, int fpgaIndex,
+                            obs::SpanContext ctx)
 {
     MOLECULE_ASSERT(fn.fpgaWork != nullptr,
                     "function '%s' has no FPGA workload",
@@ -254,6 +266,8 @@ StartupManager::acquireFpga(const FunctionDef &fn, int fpgaIndex)
     auto &sim = dep_.simulation();
     const auto t0 = sim.now();
     auto &runf = dep_.runf(fpgaIndex);
+    obs::Span span(ctx, "startup", obs::Layer::Core,
+                   dep_.computer().fpga(fpgaIndex).hostPuId());
     const std::string sandboxId = "fpga/" + fn.name;
 
     AcquiredFpga out;
@@ -275,7 +289,7 @@ StartupManager::acquireFpga(const FunctionDef &fn, int fpgaIndex)
                             "hot-set fn '%s' has no FPGA image",
                             name.c_str());
             reqs.push_back(sandbox::CreateRequest{
-                "fpga/" + name, &def.fpgaWork->image});
+                "fpga/" + name, &def.fpgaWork->image, span.ctx()});
         }
         const int created = co_await runf.createVector(reqs);
         MOLECULE_ASSERT(created == int(reqs.size()),
@@ -283,7 +297,12 @@ StartupManager::acquireFpga(const FunctionDef &fn, int fpgaIndex)
     } else {
         ++warmHits_;
     }
-    const bool started = co_await runf.start(sandboxId);
+    bool started;
+    {
+        obs::Span st(span.ctx(), "sandbox.prep", obs::Layer::Sandbox,
+                     dep_.computer().fpga(fpgaIndex).hostPuId());
+        started = co_await runf.start(sandboxId);
+    }
     MOLECULE_ASSERT(started, "FPGA sandbox '%s' failed to start",
                     sandboxId.c_str());
     out.startupTime = sim.now() - t0;
@@ -291,11 +310,14 @@ StartupManager::acquireFpga(const FunctionDef &fn, int fpgaIndex)
 }
 
 sim::Task<AcquiredFpga>
-StartupManager::acquireGpu(const FunctionDef &fn, int gpuIndex)
+StartupManager::acquireGpu(const FunctionDef &fn, int gpuIndex,
+                           obs::SpanContext ctx)
 {
     auto &sim = dep_.simulation();
     const auto t0 = sim.now();
     auto &rung = dep_.rung(gpuIndex);
+    obs::Span span(ctx, "startup", obs::Layer::Core,
+                   dep_.computer().gpuDev(gpuIndex).hostPuId());
     const std::string sandboxId = "gpu/" + fn.name;
 
     AcquiredFpga out;
@@ -305,11 +327,17 @@ StartupManager::acquireGpu(const FunctionDef &fn, int gpuIndex)
         ++coldStarts_;
         out.cold = true;
         sandbox::FunctionImage *img = gpuImage(fn);
-        sandbox::CreateRequest req{sandboxId, img};
+        sandbox::CreateRequest req{sandboxId, img, span.ctx()};
         const bool created = co_await rung.create(req);
         MOLECULE_ASSERT(created, "GPU create failed for '%s'",
                         fn.name.c_str());
-        const bool started = co_await rung.start(sandboxId);
+        bool started;
+        {
+            obs::Span st(span.ctx(), "sandbox.start",
+                         obs::Layer::Sandbox,
+                         dep_.computer().gpuDev(gpuIndex).hostPuId());
+            started = co_await rung.start(sandboxId);
+        }
         MOLECULE_ASSERT(started, "GPU start failed");
     } else {
         ++warmHits_;

@@ -24,6 +24,7 @@
 
 #include "core/deployment.hh"
 #include "core/function.hh"
+#include "obs/trace.hh"
 
 namespace molecule::core {
 
@@ -94,7 +95,8 @@ class StartupManager
      * issued from a different PU pays the executor command round-trip.
      */
     sim::Task<AcquiredInstance> acquire(const FunctionDef &fn, int pu,
-                                        int managerPu);
+                                        int managerPu,
+                                        obs::SpanContext ctx = {});
 
     /** Return an instance to the keep-alive cache (may evict). */
     sim::Task<> release(const FunctionDef &fn, AcquiredInstance inst);
@@ -110,14 +112,16 @@ class StartupManager
      * cached-instance start, or a full image (re)composition.
      */
     sim::Task<AcquiredFpga> acquireFpga(const FunctionDef &fn,
-                                        int fpgaIndex);
+                                        int fpgaIndex,
+                                        obs::SpanContext ctx = {});
 
     /**
      * Get a dispatchable GPU sandbox (§6.8): GPUs keep many modules
      * resident concurrently, so a cold acquire just loads the module.
      */
     sim::Task<AcquiredFpga> acquireGpu(const FunctionDef &fn,
-                                       int gpuIndex);
+                                       int gpuIndex,
+                                       obs::SpanContext ctx = {});
 
     /** Warm-pool depth for (fn, pu) (tests). */
     std::size_t warmCount(const std::string &fn, int pu) const;
@@ -144,7 +148,8 @@ class StartupManager
     using PoolKey = std::pair<std::string, int>;
 
     /** Charge the manager->executor command round-trip over nIPC. */
-    sim::Task<> commandRoundTrip(int managerPu, int targetPu);
+    sim::Task<> commandRoundTrip(int managerPu, int targetPu,
+                                 obs::SpanContext ctx);
 
     /** Evict until the pool for @p key fits the capacity. */
     sim::Task<> evictIfNeeded(const PoolKey &key);

@@ -13,8 +13,9 @@ FpgaDevice::FpgaDevice(sim::Simulation &sim, int id, int hostPuId,
 }
 
 sim::Task<>
-FpgaDevice::erase()
+FpgaDevice::erase(obs::SpanContext ctx)
 {
+    obs::Span span(ctx, "hw.erase", obs::Layer::Hw, hostPuId_);
     ++eraseCount_;
     imageEpoch_.fetchAdd(1);
     image_.reset();
@@ -23,8 +24,11 @@ FpgaDevice::erase()
 }
 
 sim::Task<>
-FpgaDevice::program(FpgaImage image, ProgramMode mode, bool retainDram)
+FpgaDevice::program(FpgaImage image, ProgramMode mode, bool retainDram,
+                    obs::SpanContext ctx)
 {
+    obs::Span span(ctx, "hw.program", obs::Layer::Hw, hostPuId_);
+    span.setArg(std::int64_t(image.slots.size()));
     const auto need = image.totalResources();
     if (!need.fitsIn(totals_)) {
         sim::fatal("FPGA image %llu exceeds fabric resources "
@@ -65,8 +69,11 @@ FpgaDevice::resident(const std::string &funcId) const
 }
 
 sim::Task<>
-FpgaDevice::invoke(const std::string &funcId, sim::SimTime kernelTime)
+FpgaDevice::invoke(const std::string &funcId, sim::SimTime kernelTime,
+                   obs::SpanContext ctx)
 {
+    obs::Span span(ctx, "hw.kernel", obs::Layer::Hw, hostPuId_);
+    span.setDetail(funcId.c_str());
     if (!resident(funcId))
         sim::fatal("invoking non-resident FPGA function '%s'",
                    funcId.c_str());
@@ -95,8 +102,11 @@ FpgaDevice::dramAccessTime(std::uint64_t bytes) const
 }
 
 sim::Task<>
-FpgaDevice::bankWrite(int bank, std::string tag, std::uint64_t bytes)
+FpgaDevice::bankWrite(int bank, std::string tag, std::uint64_t bytes,
+                      obs::SpanContext ctx)
 {
+    obs::Span span(ctx, "hw.dram", obs::Layer::Hw, hostPuId_);
+    span.setArg(std::int64_t(bytes));
     MOLECULE_ASSERT(bank >= 0 && bank < dramBankCount(),
                     "bank %d out of range", bank);
     co_await sim_.delay(dramAccessTime(bytes));
@@ -118,8 +128,10 @@ FpgaDevice::bankPeek(int bank, const std::string &tag) const
 }
 
 sim::Task<>
-FpgaDevice::bankRead(int bank, std::uint64_t bytes)
+FpgaDevice::bankRead(int bank, std::uint64_t bytes, obs::SpanContext ctx)
 {
+    obs::Span span(ctx, "hw.dram", obs::Layer::Hw, hostPuId_);
+    span.setArg(std::int64_t(bytes));
     MOLECULE_ASSERT(bank >= 0 && bank < dramBankCount(),
                     "bank %d out of range", bank);
     bankEpoch_.read();

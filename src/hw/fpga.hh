@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "hw/calibration.hh"
+#include "obs/trace.hh"
 #include "sim/analysis.hh"
 #include "sim/sync.hh"
 
@@ -153,7 +154,7 @@ class FpgaDevice
     ///@{
 
     /** Full-device erase (the Baseline path of Fig 10-c). */
-    sim::Task<> erase();
+    sim::Task<> erase(obs::SpanContext ctx = {});
 
     /**
      * Program @p image, replacing any resident image. Fails fatally if
@@ -162,7 +163,7 @@ class FpgaDevice
      * banks are cleared.
      */
     sim::Task<> program(FpgaImage image, ProgramMode mode,
-                        bool retainDram);
+                        bool retainDram, obs::SpanContext ctx = {});
 
     bool hasImage() const { return image_.has_value(); }
 
@@ -180,14 +181,16 @@ class FpgaDevice
      * already executing (one invocation in flight per slot); different
      * slots run concurrently. Fatal if the function is not resident.
      */
-    sim::Task<> invoke(const std::string &funcId, sim::SimTime kernelTime);
+    sim::Task<> invoke(const std::string &funcId, sim::SimTime kernelTime,
+                       obs::SpanContext ctx = {});
     ///@}
 
     /** @name DRAM banks with data retention */
     ///@{
 
     /** Write @p bytes tagged @p tag into @p bank (charges DRAM time). */
-    sim::Task<> bankWrite(int bank, std::string tag, std::uint64_t bytes);
+    sim::Task<> bankWrite(int bank, std::string tag, std::uint64_t bytes,
+                          obs::SpanContext ctx = {});
 
     /**
      * Read the data tagged @p tag from @p bank.
@@ -197,7 +200,8 @@ class FpgaDevice
                                           const std::string &tag) const;
 
     /** Read @p bytes from @p bank (charges DRAM time). */
-    sim::Task<> bankRead(int bank, std::uint64_t bytes);
+    sim::Task<> bankRead(int bank, std::uint64_t bytes,
+                         obs::SpanContext ctx = {});
 
     /** Clear one bank (wrapper clears sensitive data, §4.3). */
     void bankClear(int bank);

@@ -100,8 +100,11 @@ Topology::hasRoute(int a, int b) const
 }
 
 sim::Task<>
-Topology::transfer(int a, int b, std::uint64_t bytes)
+Topology::transfer(int a, int b, std::uint64_t bytes,
+                   obs::SpanContext ctx)
 {
+    obs::Span span(ctx, "hw.link", obs::Layer::Hw, a);
+    span.setArg(std::int64_t(bytes));
     const Route &r = route(a, b);
     bool first = true;
     for (Link *hop : r.hops) {

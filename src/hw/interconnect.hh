@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "hw/calibration.hh"
+#include "obs/trace.hh"
 #include "sim/analysis.hh"
 #include "sim/sync.hh"
 
@@ -113,7 +114,8 @@ class Topology
      * Move @p bytes from PU @p a to PU @p b across every hop of the
      * route, charging forwarding costs at intermediate PUs.
      */
-    sim::Task<> transfer(int a, int b, std::uint64_t bytes);
+    sim::Task<> transfer(int a, int b, std::uint64_t bytes,
+                         obs::SpanContext ctx = {});
 
     /** Closed-form latency of the a -> b route (no contention). */
     sim::SimTime transferLatency(int a, int b, std::uint64_t bytes) const;

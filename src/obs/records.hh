@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Measurement records produced by the Molecule runtime.
+ *
+ * Moved here from core/metrics.hh: records are observability data, so
+ * they live with the tracing/metrics subsystem. Each record now
+ * carries the trace id of the invocation that produced it (0 when no
+ * tracer was attached), linking coarse latency records to their full
+ * span trees.
+ */
+
+#ifndef MOLECULE_OBS_RECORDS_HH
+#define MOLECULE_OBS_RECORDS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace molecule::obs {
+
+/** Timing breakdown of one function invocation. */
+struct InvocationRecord
+{
+    std::string function;
+    /** PU (or accelerator host PU) the instance ran on. */
+    int pu = -1;
+    bool coldStart = false;
+    /** Sandbox acquisition (zero on a warm hit). */
+    sim::SimTime startup;
+    /** Request delivery into the instance. */
+    sim::SimTime communication;
+    /** Function body execution. */
+    sim::SimTime execution;
+    /** startup + communication + execution. */
+    sim::SimTime endToEnd;
+    /** Trace of this invocation (0: tracing off). */
+    std::uint64_t traceId = 0;
+};
+
+/** Timing of one DAG/chain execution. */
+struct ChainRecord
+{
+    std::string chain;
+    sim::SimTime endToEnd;
+    /** Inter-function latency per edge, in chain-edge order. */
+    std::vector<sim::SimTime> edgeLatencies;
+    std::vector<InvocationRecord> invocations;
+    /** Trace of this chain execution (0: tracing off). */
+    std::uint64_t traceId = 0;
+};
+
+} // namespace molecule::obs
+
+#endif // MOLECULE_OBS_RECORDS_HH

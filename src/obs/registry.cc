@@ -1,0 +1,88 @@
+#include "obs/registry.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace molecule::obs {
+
+int
+Histogram::bucketOf(double v)
+{
+    if (!(v >= 1.0)) // negatives, zero, NaN: the shared floor bucket
+        return kFloorBucket;
+    return int(std::floor(std::log2(v) * 8.0));
+}
+
+double
+Histogram::bucketMid(int idx)
+{
+    if (idx <= kFloorBucket)
+        return 0.0;
+    // Geometric midpoint of [2^(idx/8), 2^((idx+1)/8)).
+    return std::exp2((double(idx) + 0.5) / 8.0);
+}
+
+void
+Histogram::add(double v)
+{
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    ++count_;
+    sum_ += v;
+    ++buckets_[bucketOf(v)];
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    // Nearest-rank over the cumulative bucket counts (map is sorted).
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, std::uint64_t(std::ceil(p / 100.0 * double(count_))));
+    std::uint64_t seen = 0;
+    for (const auto &[idx, n] : buckets_) {
+        seen += n;
+        if (seen >= rank)
+            return std::clamp(bucketMid(idx), min_, max_);
+    }
+    return max_;
+}
+
+void
+Histogram::clear()
+{
+    buckets_.clear();
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0.0;
+    max_ = 0.0;
+}
+
+std::string
+Histogram::summaryLine() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%llu avg=%.1f p50=%.1f p95=%.1f p99=%.1f",
+                  static_cast<unsigned long long>(count_), mean(),
+                  percentile(50), percentile(95), percentile(99));
+    return buf;
+}
+
+void
+Registry::clear()
+{
+    counters_.clear();
+    gauges_.clear();
+    hists_.clear();
+}
+
+} // namespace molecule::obs

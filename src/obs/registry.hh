@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Unified metrics registry: counters, gauges and log-bucketed
+ * histograms with cheap tail percentiles.
+ *
+ * This is the model-layer successor of the ad-hoc structs that used
+ * to live in core/metrics.hh: subsystems publish named metrics here
+ * (and the Tracer feeds one histogram sample per finished span), so
+ * experiment harnesses and tools/trace_report read everything from
+ * one place. sim/stats.hh keeps its exact-sample Histogram for small
+ * test fixtures; this Histogram buckets geometrically (~9% relative
+ * resolution, 8 buckets per octave) so million-invocation runs stay
+ * O(#buckets) in memory while p50/p95/p99 remain honest.
+ */
+
+#ifndef MOLECULE_OBS_REGISTRY_HH
+#define MOLECULE_OBS_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/time.hh"
+
+namespace molecule::obs {
+
+/** Monotonic counter. */
+class Counter
+{
+  public:
+    void inc(std::int64_t by = 1) { value_ += by; }
+
+    std::int64_t value() const { return value_; }
+
+    void reset() { value_ = 0; }
+
+  private:
+    std::int64_t value_ = 0;
+};
+
+/** Last-write-wins level (queue depths, pool sizes). */
+class Gauge
+{
+  public:
+    void set(double v) { value_ = v; }
+
+    double value() const { return value_; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Log-bucketed distribution: bucket index = floor(log2(v) * 8), i.e.
+ * 8 buckets per octave (~9% bucket width). Memory is O(octaves), not
+ * O(samples); percentiles interpolate the geometric midpoint of the
+ * bucket holding the requested rank, clamped to the observed range.
+ */
+class Histogram
+{
+  public:
+    void add(double v);
+
+    /** Convenience for latency samples (microseconds, like stats). */
+    void addTime(sim::SimTime t) { add(t.toMicroseconds()); }
+
+    std::uint64_t count() const { return count_; }
+
+    double sum() const { return sum_; }
+
+    double mean() const { return count_ ? sum_ / double(count_) : 0.0; }
+
+    double min() const { return count_ ? min_ : 0.0; }
+
+    double max() const { return count_ ? max_ : 0.0; }
+
+    /** Bucketed percentile; @p p in [0, 100]. */
+    double percentile(double p) const;
+
+    void clear();
+
+    /** "n=... avg=... p50=... p95=... p99=..." reporting line. */
+    std::string summaryLine() const;
+
+  private:
+    static int bucketOf(double v);
+
+    static double bucketMid(int idx);
+
+    /** Sub-unity and non-positive samples share the floor bucket. */
+    static constexpr int kFloorBucket = -1024;
+
+    std::map<int, std::uint64_t> buckets_;
+    std::uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Named metrics, ordered (std::map) so iteration order — and any
+ * digest or report built from it — is deterministic.
+ */
+class Registry
+{
+  public:
+    Counter &counter(const std::string &name) { return counters_[name]; }
+
+    Gauge &gauge(const std::string &name) { return gauges_[name]; }
+
+    Histogram &histogram(const std::string &name) { return hists_[name]; }
+
+    const std::map<std::string, Counter> &counters() const
+    {
+        return counters_;
+    }
+
+    const std::map<std::string, Gauge> &gauges() const { return gauges_; }
+
+    const std::map<std::string, Histogram> &histograms() const
+    {
+        return hists_;
+    }
+
+    void clear();
+
+  private:
+    std::map<std::string, Counter> counters_;
+    std::map<std::string, Gauge> gauges_;
+    std::map<std::string, Histogram> hists_;
+};
+
+} // namespace molecule::obs
+
+#endif // MOLECULE_OBS_REGISTRY_HH

@@ -40,8 +40,10 @@ ContainerManager::cpusetAttach()
 }
 
 sim::Task<>
-ContainerManager::attach(Container &container, Process &proc)
+ContainerManager::attach(Container &container, Process &proc,
+                         obs::SpanContext ctx)
 {
+    obs::Span span(ctx, "os.attach", obs::Layer::Os, os_.pu().id());
     MOLECULE_ASSERT(container.state_ == ContainerState::Running,
                     "attach to non-running container '%s'",
                     container.id().c_str());

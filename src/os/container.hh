@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "os/process.hh"
 #include "sim/sync.hh"
 
@@ -79,7 +80,8 @@ class ContainerManager
      * Attach @p proc to @p container: namespace reconfiguration plus
      * cpuset cgroup attach under the kernel's cpuset lock.
      */
-    sim::Task<> attach(Container &container, Process &proc);
+    sim::Task<> attach(Container &container, Process &proc,
+                       obs::SpanContext ctx = {});
 
     /** Attach with only the cgroup step (already in the right ns). */
     sim::Task<> attachCgroupOnly(Container &container, Process &proc);

@@ -34,10 +34,13 @@ LocalOs::makeAddressSpace()
 }
 
 sim::Task<Process *>
-LocalOs::spawnProcess(const std::string &name, std::uint64_t privateBytes)
+LocalOs::spawnProcess(const std::string &name, std::uint64_t privateBytes,
+                      obs::SpanContext ctx)
 {
     // Copy before the first suspension (see the GCC 12 note in task.hh).
     std::string owned_name = name;
+    obs::Span span(ctx, "os.spawn", obs::Layer::Os, pu_.id());
+    span.setDetail(owned_name.c_str());
     co_await swDelay(calib::kSpawnProcessCost);
     AddressSpace space = makeAddressSpace();
     if (privateBytes > 0 &&
@@ -54,9 +57,12 @@ LocalOs::spawnProcess(const std::string &name, std::uint64_t privateBytes)
 }
 
 sim::Task<Process *>
-LocalOs::fork(Process &parent, const std::string &childName)
+LocalOs::fork(Process &parent, const std::string &childName,
+              obs::SpanContext ctx)
 {
     std::string owned_name = childName;
+    obs::Span span(ctx, "os.fork", obs::Layer::Os, pu_.id());
+    span.setDetail(owned_name.c_str());
     MOLECULE_ASSERT(parent.threads() == 1,
                     "Unix fork only propagates one thread; merge "
                     "threads first (forkable runtime, §4.2)");

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "hw/pu.hh"
+#include "obs/trace.hh"
 #include "os/container.hh"
 #include "os/fifo.hh"
 #include "os/process.hh"
@@ -66,7 +67,8 @@ class LocalOs
      * @return nullptr when memory admission fails.
      */
     sim::Task<Process *> spawnProcess(const std::string &name,
-                                      std::uint64_t privateBytes);
+                                      std::uint64_t privateBytes,
+                                      obs::SpanContext ctx = {});
 
     /**
      * COW-fork @p parent. The child shares all parent regions; extra
@@ -74,7 +76,8 @@ class LocalOs
      * @return nullptr when memory admission fails.
      */
     sim::Task<Process *> fork(Process &parent,
-                              const std::string &childName);
+                              const std::string &childName,
+                              obs::SpanContext ctx = {});
 
     /** Terminate and reap a process, releasing its memory. */
     void exitProcess(Process &proc);

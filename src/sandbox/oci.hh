@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/trace.hh"
 #include "sandbox/function_image.hh"
 #include "sim/sync.hh"
 
@@ -32,6 +33,8 @@ struct CreateRequest
 {
     std::string sandboxId;
     const FunctionImage *image = nullptr;
+    /** Causal parent span of the startup driving this create. */
+    obs::SpanContext ctx{};
 };
 
 /**

@@ -106,13 +106,14 @@ RuncRuntime::create(const CreateRequest &req)
 
     const bool useCfork = path_ != StartupPath::ColdBoot &&
                           hasTemplate(req.image->language);
+    const obs::SpanContext ctx = req.ctx;
     // GCC 12 rule (task.hh): co_await only as a full statement or the
     // RHS of a simple assignment -- never inside ?: or if-conditions.
     bool ok;
     if (useCfork)
-        ok = co_await createCfork(*raw);
+        ok = co_await createCfork(*raw, ctx);
     else
-        ok = co_await createCold(*raw);
+        ok = co_await createCold(*raw, ctx);
     if (!ok) {
         instances_.erase(raw->id);
         co_return false;
@@ -122,11 +123,14 @@ RuncRuntime::create(const CreateRequest &req)
 }
 
 sim::Task<bool>
-RuncRuntime::createCold(Instance &inst)
+RuncRuntime::createCold(Instance &inst, obs::SpanContext ctx)
 {
+    obs::Span span(ctx, "sandbox.cold-boot", obs::Layer::Sandbox,
+                   os_.pu().id());
+    span.setDetail(inst.funcId.c_str());
     // Baseline path: fresh container, cold language runtime, imports.
     inst.container = co_await os_.containers().create(inst.id);
-    inst.proc = co_await os_.spawnProcess(inst.funcId, 0);
+    inst.proc = co_await os_.spawnProcess(inst.funcId, 0, span.ctx());
     if (!inst.proc)
         co_return false;
     co_await os_.swDelay(runtimeColdStart(inst.image->language) +
@@ -141,17 +145,24 @@ RuncRuntime::createCold(Instance &inst)
 }
 
 sim::Task<bool>
-RuncRuntime::createCfork(Instance &inst)
+RuncRuntime::createCfork(Instance &inst, obs::SpanContext ctx)
 {
+    obs::Span span(ctx, "sandbox.cfork", obs::Layer::Sandbox,
+                   os_.pu().id());
+    span.setDetail(inst.funcId.c_str());
     TemplateState &tmpl = templates_.at(inst.image->language);
 
     // 1. The forkable runtime merges the template's threads into one
     //    so Unix fork propagates the full state (§4.2).
     tmpl.proc->setThreads(1);
-    co_await os_.swDelay(calib::kThreadMergeCost);
+    {
+        obs::Span st(span.ctx(), "cfork.thread-merge",
+                     obs::Layer::Sandbox, os_.pu().id());
+        co_await os_.swDelay(calib::kThreadMergeCost);
+    }
 
     // 2. fork() the template: all regions are COW-shared.
-    inst.proc = co_await os_.fork(*tmpl.proc, inst.id);
+    inst.proc = co_await os_.fork(*tmpl.proc, inst.id, span.ctx());
     if (!inst.proc)
         co_return false;
     inst.forked = true;
@@ -168,6 +179,8 @@ RuncRuntime::createCfork(Instance &inst)
 
     // 4. Function container: fresh (naive) or pre-initialized.
     if (path_ == StartupPath::CforkNaive || pool_.empty()) {
+        obs::Span st(span.ctx(), "cfork.container",
+                     obs::Layer::Sandbox, os_.pu().id());
         inst.container = co_await os_.containers().create(inst.id);
     } else {
         inst.container = pool_.front();
@@ -180,13 +193,18 @@ RuncRuntime::createCfork(Instance &inst)
         path_ == StartupPath::CforkCpusetOpt
             ? os::CpusetMode::MutexPatch
             : os::CpusetMode::StockSemaphore);
-    co_await os_.containers().attach(*inst.container, *inst.proc);
+    co_await os_.containers().attach(*inst.container, *inst.proc,
+                                     span.ctx());
 
     // 6. Child re-expands its threads, loads the function's code and
     //    connects back to the runtime.
-    co_await os_.swDelay(calib::kThreadExpandCost +
-                         inst.image->funcLoadCost +
-                         calib::kInstanceSettleCost);
+    {
+        obs::Span st(span.ctx(), "cfork.expand-load",
+                     obs::Layer::Sandbox, os_.pu().id());
+        co_await os_.swDelay(calib::kThreadExpandCost +
+                             inst.image->funcLoadCost +
+                             calib::kInstanceSettleCost);
+    }
     co_return true;
 }
 
@@ -227,8 +245,10 @@ RuncRuntime::destroy(const std::string &sandboxId)
 
 sim::Task<>
 RuncRuntime::invoke(const std::string &sandboxId,
-                    sim::SimTime hostExecCost)
+                    sim::SimTime hostExecCost, obs::SpanContext ctx)
 {
+    obs::Span span(ctx, "sandbox.exec", obs::Layer::Sandbox,
+                   os_.pu().id());
     Instance *inst = find(sandboxId);
     MOLECULE_ASSERT(inst != nullptr, "invoking unknown sandbox '%s'",
                     sandboxId.c_str());
@@ -248,13 +268,20 @@ RuncRuntime::invoke(const std::string &sandboxId,
             const auto pages =
                 inst->proc->addressSpace().touchCow(region, bytes);
             if (pages > 0) {
+                obs::Span st(span.ctx(), "sandbox.cow-settle",
+                             obs::Layer::Sandbox, os_.pu().id());
+                st.setArg(std::int64_t(pages));
                 co_await os_.swDelay(calib::kCowFaultPerPage *
                                      double(pages));
             }
         }
         inst->cowSettled = true;
     }
-    co_await os_.pu().compute(hostExecCost);
+    {
+        obs::Span hwspan(span.ctx(), "hw.compute", obs::Layer::Hw,
+                         os_.pu().id());
+        co_await os_.pu().compute(hostExecCost);
+    }
 }
 
 Instance *

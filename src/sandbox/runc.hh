@@ -114,7 +114,8 @@ class RuncRuntime : public VectorizedSandboxRuntime
      * the function body occupies a core for @p hostExecCost.
      */
     sim::Task<> invoke(const std::string &sandboxId,
-                       sim::SimTime hostExecCost);
+                       sim::SimTime hostExecCost,
+                       obs::SpanContext ctx = {});
 
     Instance *find(const std::string &sandboxId);
 
@@ -138,9 +139,9 @@ class RuncRuntime : public VectorizedSandboxRuntime
         const FunctionImage *image = nullptr;
     };
 
-    sim::Task<bool> createCold(Instance &inst);
+    sim::Task<bool> createCold(Instance &inst, obs::SpanContext ctx);
 
-    sim::Task<bool> createCfork(Instance &inst);
+    sim::Task<bool> createCfork(Instance &inst, obs::SpanContext ctx);
 
     os::LocalOs &os_;
     StartupPath path_ = StartupPath::CforkCpusetOpt;

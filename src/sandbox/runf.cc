@@ -31,6 +31,11 @@ sim::Task<int>
 RunfRuntime::createVector(const std::vector<CreateRequest> &reqs)
 {
     std::vector<CreateRequest> owned = reqs;
+    const obs::SpanContext ctx =
+        owned.empty() ? obs::SpanContext{} : owned.front().ctx;
+    obs::Span span(ctx, "sandbox.compose", obs::Layer::Sandbox,
+                   hostOs_.pu().id());
+    span.setArg(std::int64_t(owned.size()));
 
     // Compose wrapper + one slot per request and check the budget.
     hw::FpgaImage image;
@@ -58,12 +63,12 @@ RunfRuntime::createVector(const std::vector<CreateRequest> &reqs)
     }
 
     if (options_.eraseBeforeProgram)
-        co_await device_.erase();
+        co_await device_.erase(span.ctx());
     co_await device_.program(std::move(image),
                              options_.bitstreamCached
                                  ? hw::ProgramMode::Cached
                                  : hw::ProgramMode::Cold,
-                             options_.retainDram);
+                             options_.retainDram, span.ctx());
 
     for (const auto &req : owned) {
         FpgaSandbox sb;
@@ -148,8 +153,11 @@ RunfRuntime::destroy(const std::string &sandboxId)
 sim::Task<>
 RunfRuntime::invoke(const std::string &sandboxId, sim::SimTime kernelTime,
                     std::uint64_t inBytes, std::uint64_t outBytes,
-                    bool zeroCopyIn, bool zeroCopyOut)
+                    bool zeroCopyIn, bool zeroCopyOut,
+                    obs::SpanContext ctx)
 {
+    obs::Span span(ctx, "sandbox.exec", obs::Layer::Sandbox,
+                   hostOs_.pu().id());
     FpgaSandbox *sb = find(sandboxId);
     MOLECULE_ASSERT(sb != nullptr, "invoking unknown FPGA sandbox '%s'",
                     sandboxId.c_str());
@@ -168,17 +176,27 @@ RunfRuntime::invoke(const std::string &sandboxId, sim::SimTime kernelTime,
 
     if (zeroCopyIn) {
         // Input was retained in DRAM by the previous function (§4.3).
-        co_await device_.bankRead(bank, inBytes);
+        co_await device_.bankRead(bank, inBytes, span.ctx());
     } else if (inBytes > 0) {
-        co_await dmaLink_.transfer(inBytes);
-        co_await device_.bankWrite(bank, funcId + "/in", inBytes);
+        {
+            obs::Span dma(span.ctx(), "hw.dma-in", obs::Layer::Hw,
+                          hostOs_.pu().id());
+            dma.setArg(std::int64_t(inBytes));
+            co_await dmaLink_.transfer(inBytes);
+        }
+        co_await device_.bankWrite(bank, funcId + "/in", inBytes,
+                                   span.ctx());
     }
 
-    co_await device_.invoke(funcId, kernelTime);
+    co_await device_.invoke(funcId, kernelTime, span.ctx());
 
     if (zeroCopyOut) {
-        co_await device_.bankWrite(bank, funcId + "/out", outBytes);
+        co_await device_.bankWrite(bank, funcId + "/out", outBytes,
+                                   span.ctx());
     } else if (outBytes > 0) {
+        obs::Span dma(span.ctx(), "hw.dma-out", obs::Layer::Hw,
+                      hostOs_.pu().id());
+        dma.setArg(std::int64_t(outBytes));
         co_await dmaLink_.transfer(outBytes);
     }
 }

@@ -94,7 +94,7 @@ class RunfRuntime : public VectorizedSandboxRuntime
     sim::Task<> invoke(const std::string &sandboxId,
                        sim::SimTime kernelTime, std::uint64_t inBytes,
                        std::uint64_t outBytes, bool zeroCopyIn,
-                       bool zeroCopyOut);
+                       bool zeroCopyOut, obs::SpanContext ctx = {});
 
     /** True when the function's slot survives in the resident image. */
     bool cached(const std::string &funcId) const;

@@ -67,19 +67,34 @@ RungRuntime::destroy(const std::string &sandboxId)
 
 sim::Task<>
 RungRuntime::invoke(const std::string &sandboxId, sim::SimTime kernelTime,
-                    std::uint64_t inBytes, std::uint64_t outBytes)
+                    std::uint64_t inBytes, std::uint64_t outBytes,
+                    obs::SpanContext ctx)
 {
+    obs::Span span(ctx, "sandbox.exec", obs::Layer::Sandbox,
+                   hostOs_.pu().id());
     GpuSandbox *sb = find(sandboxId);
     MOLECULE_ASSERT(sb != nullptr, "invoking unknown GPU sandbox '%s'",
                     sandboxId.c_str());
     MOLECULE_ASSERT(sb->state == SandboxState::Running,
                     "invoking non-running GPU sandbox '%s'",
                     sandboxId.c_str());
-    if (inBytes > 0)
+    if (inBytes > 0) {
+        obs::Span dma(span.ctx(), "hw.dma-in", obs::Layer::Hw,
+                      hostOs_.pu().id());
+        dma.setArg(std::int64_t(inBytes));
         co_await dmaLink_.transfer(inBytes);
-    co_await device_.launch(sb->image->funcId, kernelTime);
-    if (outBytes > 0)
+    }
+    {
+        obs::Span hwspan(span.ctx(), "hw.kernel", obs::Layer::Hw,
+                         hostOs_.pu().id());
+        co_await device_.launch(sb->image->funcId, kernelTime);
+    }
+    if (outBytes > 0) {
+        obs::Span dma(span.ctx(), "hw.dma-out", obs::Layer::Hw,
+                      hostOs_.pu().id());
+        dma.setArg(std::int64_t(outBytes));
         co_await dmaLink_.transfer(outBytes);
+    }
 }
 
 RungRuntime::GpuSandbox *

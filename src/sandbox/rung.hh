@@ -46,7 +46,8 @@ class RungRuntime : public VectorizedSandboxRuntime
     /** Run one request: DMA input, launch kernel, DMA output. */
     sim::Task<> invoke(const std::string &sandboxId,
                        sim::SimTime kernelTime, std::uint64_t inBytes,
-                       std::uint64_t outBytes);
+                       std::uint64_t outBytes,
+                       obs::SpanContext ctx = {});
 
   private:
     struct GpuSandbox

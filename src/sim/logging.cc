@@ -8,10 +8,17 @@ namespace molecule::sim {
 namespace {
 
 LogLevel g_level = LogLevel::Quiet;
+LogPrefixFn g_prefix = nullptr;
 
 void
 vreport(const char *tag, const char *fmt, va_list ap)
 {
+    char prefix[96];
+    std::size_t n = 0;
+    if (g_prefix != nullptr)
+        n = g_prefix(prefix, sizeof(prefix));
+    if (n > 0)
+        std::fprintf(stderr, "%.*s", int(n), prefix);
     std::fprintf(stderr, "%s: ", tag);
     std::vfprintf(stderr, fmt, ap);
     std::fputc('\n', stderr);
@@ -23,6 +30,12 @@ void
 setLogLevel(LogLevel level)
 {
     g_level = level;
+}
+
+void
+setLogPrefixHook(LogPrefixFn fn)
+{
+    g_prefix = fn;
 }
 
 LogLevel

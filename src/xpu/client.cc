@@ -39,8 +39,10 @@ XpuClient::marshalBulk(std::uint64_t bytes)
 sim::Task<XpuStatus>
 XpuClient::grantCap(XpuPid target, ObjId obj, Perm perm)
 {
+    obs::Span span(ctx_, "xpu.grantCap", obs::Layer::Xpu, shim_.puId());
     co_await enterCall(32);
-    XpuStatus st = co_await shim_.grantCap(self_, target, obj, perm);
+    XpuStatus st = co_await shim_.grantCap(self_, target, obj, perm,
+                                           span.ctx());
     co_await leaveCall(8);
     co_return st;
 }
@@ -48,8 +50,10 @@ XpuClient::grantCap(XpuPid target, ObjId obj, Perm perm)
 sim::Task<XpuStatus>
 XpuClient::revokeCap(XpuPid target, ObjId obj, Perm perm)
 {
+    obs::Span span(ctx_, "xpu.revokeCap", obs::Layer::Xpu, shim_.puId());
     co_await enterCall(32);
-    XpuStatus st = co_await shim_.revokeCap(self_, target, obj, perm);
+    XpuStatus st = co_await shim_.revokeCap(self_, target, obj, perm,
+                                            span.ctx());
     co_await leaveCall(8);
     co_return st;
 }
@@ -58,8 +62,9 @@ sim::Task<FdResult>
 XpuClient::xfifoInit(const std::string &globalUuid)
 {
     std::string uuid = globalUuid;
+    obs::Span span(ctx_, "xpu.xfifoInit", obs::Layer::Xpu, shim_.puId());
     co_await enterCall(32 + uuid.size());
-    FifoInitResult r = co_await shim_.xfifoInit(self_, uuid);
+    FifoInitResult r = co_await shim_.xfifoInit(self_, uuid, span.ctx());
     co_await leaveCall(16);
     if (r.status != XpuStatus::Ok)
         co_return FdResult{r.status, -1};
@@ -72,6 +77,8 @@ sim::Task<FdResult>
 XpuClient::xfifoConnect(const std::string &globalUuid)
 {
     std::string uuid = globalUuid;
+    obs::Span span(ctx_, "xpu.xfifoConnect", obs::Layer::Xpu,
+                   shim_.puId());
     co_await enterCall(32 + uuid.size());
     FifoInitResult r = co_await shim_.xfifoConnect(self_, uuid);
     co_await leaveCall(16);
@@ -91,10 +98,13 @@ XpuClient::xfifoWrite(XpuFd fd, std::uint64_t bytes,
     if (it == fds_.end())
         co_return XpuStatus::InvalidArgument;
     const ObjId obj = it->second;
+    obs::Span span(ctx_, "xpu.xfifoWrite", obs::Layer::Xpu,
+                   shim_.puId());
+    span.setArg(std::int64_t(bytes));
     co_await marshalBulk(bytes);
     co_await enterCall(48);
     XpuStatus st = co_await shim_.xfifoWrite(self_, obj, bytes,
-                                             owned_tag);
+                                             owned_tag, span.ctx());
     co_await leaveCall(8);
     co_return st;
 }
@@ -106,8 +116,9 @@ XpuClient::xfifoRead(XpuFd fd)
     if (it == fds_.end())
         co_return ReadResult{XpuStatus::InvalidArgument, {}};
     const ObjId obj = it->second;
+    obs::Span span(ctx_, "xpu.xfifoRead", obs::Layer::Xpu, shim_.puId());
     co_await enterCall(16);
-    FifoReadResult r = co_await shim_.xfifoRead(self_, obj);
+    FifoReadResult r = co_await shim_.xfifoRead(self_, obj, span.ctx());
     if (r.status != XpuStatus::Ok)
         co_return ReadResult{r.status, {}};
     // Unmarshal the payload out of the shared-memory result area.
@@ -124,6 +135,8 @@ XpuClient::xfifoClose(XpuFd fd)
         co_return XpuStatus::InvalidArgument;
     const ObjId obj = it->second;
     fds_.erase(it);
+    obs::Span span(ctx_, "xpu.xfifoClose", obs::Layer::Xpu,
+                   shim_.puId());
     co_await enterCall(16);
     XpuStatus st = co_await shim_.xfifoClose(self_, obj);
     co_await leaveCall(8);
@@ -137,9 +150,11 @@ XpuClient::xspawn(PuId target, const std::string &path,
 {
     std::string owned_path = path;
     std::vector<CapGrant> owned_capv = capv;
+    obs::Span span(ctx_, "xpu.xspawn", obs::Layer::Xpu, shim_.puId());
     co_await enterCall(64 + owned_path.size());
     SpawnResult r = co_await shim_.xspawn(self_, target, owned_path,
-                                          owned_capv, memBytes);
+                                          owned_capv, memBytes,
+                                          span.ctx());
     co_await leaveCall(16);
     co_return SpawnCallResult{r.status, r.pid};
 }

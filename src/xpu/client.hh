@@ -54,6 +54,15 @@ class XpuClient
 
     XpuShim &shim() { return shim_; }
 
+    /**
+     * Causal parent for subsequent XPUcalls. The library itself has no
+     * notion of invocations, so the runtime sets the ambient context
+     * before driving calls on this client (obs subsystem).
+     */
+    void setTraceContext(obs::SpanContext ctx) { ctx_ = ctx; }
+
+    obs::SpanContext traceContext() const { return ctx_; }
+
     /** @name Distributed capability calls */
     ///@{
     sim::Task<XpuStatus> grantCap(XpuPid target, ObjId obj, Perm perm);
@@ -99,6 +108,7 @@ class XpuClient
 
     XpuShim &shim_;
     XpuPid self_;
+    obs::SpanContext ctx_;
     std::map<XpuFd, ObjId> fds_;
     XpuFd nextFd_ = 3;
 };

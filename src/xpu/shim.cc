@@ -71,22 +71,23 @@ namespace {
 
 /** One peer delivery: request hop, remote apply, ack hop. */
 sim::Task<>
-deliverToPeer(XpuShimNetwork &net, PuId from, PuId to,
-              SyncMessage msg)
+deliverToPeer(XpuShimNetwork &net, PuId from, PuId to, SyncMessage msg,
+              obs::SpanContext ctx)
 {
-    co_await net.transfer(from, to, msg.wireBytes());
+    co_await net.transfer(from, to, msg.wireBytes(), ctx);
     co_await net.shimOn(to).applySync(msg);
-    co_await net.transfer(to, from, 16); // ack
+    co_await net.transfer(to, from, 16, ctx); // ack
 }
 
 } // namespace
 
 sim::Task<>
-XpuShim::broadcastImmediate(const SyncMessage &msg)
+XpuShim::broadcastImmediate(const SyncMessage &msg, obs::SpanContext ctx)
 {
     // Apply locally first, then deliver to every peer concurrently and
     // wait for all acks (the call must not return before the state is
     // globally visible).
+    obs::Span span(ctx, "xpu.sync", obs::Layer::Xpu, puId());
     co_await applySync(msg);
     std::vector<sim::Task<>> deliveries;
     for (XpuShim *peer : net_.allShims()) {
@@ -94,8 +95,9 @@ XpuShim::broadcastImmediate(const SyncMessage &msg)
             continue;
         ++syncSent_;
         deliveries.push_back(
-            deliverToPeer(net_, puId(), peer->puId(), msg));
+            deliverToPeer(net_, puId(), peer->puId(), msg, span.ctx()));
     }
+    span.setArg(std::int64_t(deliveries.size()));
     co_await sim::allOf(os_.simulation(), std::move(deliveries));
 }
 
@@ -134,7 +136,8 @@ XpuShim::flushLazy()
 }
 
 sim::Task<XpuStatus>
-XpuShim::grantCap(XpuPid caller, XpuPid target, ObjId obj, Perm perm)
+XpuShim::grantCap(XpuPid caller, XpuPid target, ObjId obj, Perm perm,
+                  obs::SpanContext ctx)
 {
     co_await handleCost();
     if (!caps_.check(caller, obj, Perm::Owner))
@@ -144,12 +147,13 @@ XpuShim::grantCap(XpuPid caller, XpuPid target, ObjId obj, Perm perm)
     msg.pid = target;
     msg.objId = obj;
     msg.perm = perm;
-    co_await broadcastImmediate(msg);
+    co_await broadcastImmediate(msg, ctx);
     co_return XpuStatus::Ok;
 }
 
 sim::Task<XpuStatus>
-XpuShim::revokeCap(XpuPid caller, XpuPid target, ObjId obj, Perm perm)
+XpuShim::revokeCap(XpuPid caller, XpuPid target, ObjId obj, Perm perm,
+                   obs::SpanContext ctx)
 {
     co_await handleCost();
     if (!caps_.check(caller, obj, Perm::Owner))
@@ -159,12 +163,13 @@ XpuShim::revokeCap(XpuPid caller, XpuPid target, ObjId obj, Perm perm)
     msg.pid = target;
     msg.objId = obj;
     msg.perm = perm;
-    co_await broadcastImmediate(msg);
+    co_await broadcastImmediate(msg, ctx);
     co_return XpuStatus::Ok;
 }
 
 sim::Task<FifoInitResult>
-XpuShim::xfifoInit(XpuPid caller, const std::string &globalUuid)
+XpuShim::xfifoInit(XpuPid caller, const std::string &globalUuid,
+                   obs::SpanContext ctx)
 {
     std::string uuid = globalUuid;
     co_await handleCost();
@@ -188,7 +193,7 @@ XpuShim::xfifoInit(XpuPid caller, const std::string &globalUuid)
     msg.obj = obj;
     // Global UUID uniqueness requires every shim to learn about the
     // fifo before init returns (§5 "Immediate synchronization").
-    co_await broadcastImmediate(msg);
+    co_await broadcastImmediate(msg, ctx);
     co_return FifoInitResult{XpuStatus::Ok, obj.id};
 }
 
@@ -243,7 +248,7 @@ XpuShim::consumeLocal(ObjId obj)
 
 sim::Task<XpuStatus>
 XpuShim::xfifoWrite(XpuPid caller, ObjId obj, std::uint64_t bytes,
-                    const std::string &tag)
+                    const std::string &tag, obs::SpanContext ctx)
 {
     std::string owned_tag = tag;
     co_await handleCost();
@@ -259,16 +264,16 @@ XpuShim::xfifoWrite(XpuPid caller, ObjId obj, std::uint64_t bytes,
     // nIPC: payload + header cross the interconnect to the home shim,
     // which enqueues after its own handling; a small ack comes back.
     const PuId home = o->homePu;
-    co_await net_.transfer(puId(), home, bytes + 48);
+    co_await net_.transfer(puId(), home, bytes + 48, ctx);
     XpuShim &homeShim = net_.shimOn(home);
     co_await homeShim.handleCost();
     XpuStatus st = co_await homeShim.deliverLocal(obj, bytes, owned_tag);
-    co_await net_.transfer(home, puId(), 16);
+    co_await net_.transfer(home, puId(), 16, ctx);
     co_return st;
 }
 
 sim::Task<FifoReadResult>
-XpuShim::xfifoRead(XpuPid caller, ObjId obj)
+XpuShim::xfifoRead(XpuPid caller, ObjId obj, obs::SpanContext ctx)
 {
     co_await handleCost();
     if (!caps_.check(caller, obj, Perm::Read))
@@ -283,11 +288,11 @@ XpuShim::xfifoRead(XpuPid caller, ObjId obj)
     // Remote read: ask the home shim, block there, payload rides the
     // return hop.
     const PuId home = o->homePu;
-    co_await net_.transfer(puId(), home, 48);
+    co_await net_.transfer(puId(), home, 48, ctx);
     XpuShim &homeShim = net_.shimOn(home);
     co_await homeShim.handleCost();
     FifoReadResult r = co_await homeShim.consumeLocal(obj);
-    co_await net_.transfer(home, puId(), r.msg.bytes + 16);
+    co_await net_.transfer(home, puId(), r.msg.bytes + 16, ctx);
     co_return r;
 }
 
@@ -319,7 +324,7 @@ XpuShim::xfifoClose(XpuPid caller, ObjId obj)
 sim::Task<SpawnResult>
 XpuShim::xspawn(XpuPid caller, PuId target, const std::string &path,
                 const std::vector<CapGrant> &capv,
-                std::uint64_t memBytes)
+                std::uint64_t memBytes, obs::SpanContext ctx)
 {
     (void)caller; // xSpawn grants nothing implicitly (§3.4)
     std::string owned_path = path;
@@ -331,14 +336,15 @@ XpuShim::xspawn(XpuPid caller, PuId target, const std::string &path,
     XpuShim &remote = net_.shimOn(target);
     const bool local = target == puId();
     if (!local)
-        co_await net_.transfer(puId(), target, 64 + owned_path.size());
+        co_await net_.transfer(puId(), target, 64 + owned_path.size(),
+                               ctx);
     co_await remote.handleCost();
 
     os::Process *proc =
-        co_await remote.os_.spawnProcess(owned_path, memBytes);
+        co_await remote.os_.spawnProcess(owned_path, memBytes, ctx);
     if (!proc) {
         if (!local)
-            co_await net_.transfer(target, puId(), 16);
+            co_await net_.transfer(target, puId(), 16, ctx);
         co_return SpawnResult{XpuStatus::NoMemory, {}};
     }
     const XpuPid child{target, proc->pid()};
@@ -351,14 +357,14 @@ XpuShim::xspawn(XpuPid caller, PuId target, const std::string &path,
         msg.pid = child;
         msg.objId = g.obj;
         msg.perm = g.perm;
-        co_await remote.broadcastImmediate(msg);
+        co_await remote.broadcastImmediate(msg, ctx);
     }
 
     if (const auto *hook = net_.findProgram(owned_path))
         (*hook)(remote, *proc);
 
     if (!local)
-        co_await net_.transfer(target, puId(), 24);
+        co_await net_.transfer(target, puId(), 24, ctx);
     co_return SpawnResult{XpuStatus::Ok, child};
 }
 
@@ -411,11 +417,14 @@ XpuShimNetwork::findProgram(const std::string &path) const
 }
 
 sim::Task<>
-XpuShimNetwork::transfer(PuId from, PuId to, std::uint64_t bytes)
+XpuShimNetwork::transfer(PuId from, PuId to, std::uint64_t bytes,
+                         obs::SpanContext ctx)
 {
     if (from == to)
         co_return;
-    co_await computer_.topology().transfer(from, to, bytes);
+    obs::Span span(ctx, "nipc.transfer", obs::Layer::Xpu, from);
+    span.setArg(std::int64_t(bytes));
+    co_await computer_.topology().transfer(from, to, bytes, span.ctx());
 }
 
 sim::SimTime

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "hw/computer.hh"
+#include "obs/trace.hh"
 #include "os/fifo.hh"
 #include "os/kernel.hh"
 #include "xpu/capability.hh"
@@ -105,10 +106,12 @@ class XpuShim
     ///@{
 
     sim::Task<XpuStatus> grantCap(XpuPid caller, XpuPid target,
-                                  ObjId obj, Perm perm);
+                                  ObjId obj, Perm perm,
+                                  obs::SpanContext ctx = {});
 
     sim::Task<XpuStatus> revokeCap(XpuPid caller, XpuPid target,
-                                   ObjId obj, Perm perm);
+                                   ObjId obj, Perm perm,
+                                   obs::SpanContext ctx = {});
 
     /**
      * Create an XPU-FIFO homed on this PU. The global UUID must be
@@ -116,7 +119,8 @@ class XpuShim
      * immediately with every peer shim.
      */
     sim::Task<FifoInitResult> xfifoInit(XpuPid caller,
-                                        const std::string &globalUuid);
+                                        const std::string &globalUuid,
+                                        obs::SpanContext ctx = {});
 
     /** Connect to an XPU-FIFO by global UUID (needs Read or Write). */
     sim::Task<FifoInitResult> xfifoConnect(XpuPid caller,
@@ -125,10 +129,12 @@ class XpuShim
     /** Write @p bytes (payload rides shared memory / the wire). */
     sim::Task<XpuStatus> xfifoWrite(XpuPid caller, ObjId obj,
                                     std::uint64_t bytes,
-                                    const std::string &tag);
+                                    const std::string &tag,
+                                    obs::SpanContext ctx = {});
 
     /** Blocking read from an XPU-FIFO. */
-    sim::Task<FifoReadResult> xfifoRead(XpuPid caller, ObjId obj);
+    sim::Task<FifoReadResult> xfifoRead(XpuPid caller, ObjId obj,
+                                        obs::SpanContext ctx = {});
 
     /** Drop one reference; reclamation syncs lazily. */
     sim::Task<XpuStatus> xfifoClose(XpuPid caller, ObjId obj);
@@ -140,7 +146,8 @@ class XpuShim
     sim::Task<SpawnResult> xspawn(XpuPid caller, PuId target,
                                   const std::string &path,
                                   const std::vector<CapGrant> &capv,
-                                  std::uint64_t memBytes);
+                                  std::uint64_t memBytes,
+                                  obs::SpanContext ctx = {});
     ///@}
 
     /** @name Inter-shim plumbing */
@@ -150,7 +157,8 @@ class XpuShim
     sim::Task<> applySync(const SyncMessage &msg);
 
     /** Immediate synchronization: deliver to all peers, await acks. */
-    sim::Task<> broadcastImmediate(const SyncMessage &msg);
+    sim::Task<> broadcastImmediate(const SyncMessage &msg,
+                                   obs::SpanContext ctx = {});
 
     /** Queue a lazy update; flushes in batches. */
     sim::Task<> enqueueLazy(const SyncMessage &msg);
@@ -243,7 +251,8 @@ class XpuShimNetwork
     const ProgramHook *findProgram(const std::string &path) const;
 
     /** Move @p bytes between two PUs across the topology. */
-    sim::Task<> transfer(PuId from, PuId to, std::uint64_t bytes);
+    sim::Task<> transfer(PuId from, PuId to, std::uint64_t bytes,
+                         obs::SpanContext ctx = {});
 
     /** Closed-form link latency (diagnostics). */
     sim::SimTime transferLatency(PuId from, PuId to,
