@@ -69,7 +69,7 @@ runTrace(KeepAlivePolicy policy, std::size_t budget)
             if (ev.at > s.now())
                 co_await s.delay(ev.at - s.now());
             auto rec = co_await m->invoke(ev.fn, 0);
-            hist->addTime(rec.startup);
+            hist->addTime(rec.value().startup);
         }
     };
     sim.spawn(drive(&runtime, &trace, &startup));

@@ -59,7 +59,7 @@ initLatency(int dpus)
             const auto t0 = world->sim.now();
             auto fd = co_await world->client->xfifoInit(
                 "f" + std::to_string(i));
-            MOLECULE_ASSERT(fd.status == xpu::XpuStatus::Ok, "init");
+            MOLECULE_ASSERT(fd.ok(), "init");
             out->addTime(world->sim.now() - t0);
         }
     };
@@ -79,7 +79,7 @@ closeStorm(int dpus, bool batched)
         for (int i = 0; i < 64; ++i) {
             auto fd = co_await world->client->xfifoInit(
                 "c" + std::to_string(i));
-            fds.push_back(fd.fd);
+            fds.push_back(fd.value());
         }
         for (auto fd : fds) {
             (void)co_await world->client->xfifoClose(fd);

@@ -55,7 +55,7 @@ struct Harness
 
         auto setup = [](Harness *h, std::string id) -> sim::Task<> {
             auto fd = co_await h->cpuClient->xfifoInit(id);
-            const xpu::ObjId obj = h->cpuClient->objectOf(fd.fd);
+            const xpu::ObjId obj = h->cpuClient->objectOf(fd.value());
             (void)co_await h->cpuClient->grantCap(
                 h->dpuClient->xpuPid(), obj, xpu::Perm::Write);
         };
@@ -67,7 +67,7 @@ struct Harness
             auto fd = co_await h->dpuClient->xfifoConnect(id);
             for (int i = 0; i < n; ++i) {
                 const auto t0 = h->sim.now();
-                (void)co_await h->dpuClient->xfifoWrite(fd.fd, sz, "m");
+                (void)co_await h->dpuClient->xfifoWrite(fd.value(), sz, "m");
                 out->addTime(h->sim.now() - t0);
             }
         };

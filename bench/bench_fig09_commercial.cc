@@ -39,13 +39,13 @@ measure(MoleculeOptions options)
     runtime.start();
 
     Measured out;
-    out.startup = runtime.invokeSync("helloworld", 0).startup;
+    out.startup = runtime.invokeSync("helloworld", 0).value().startup;
 
     // Image-processing pair: front pulls, second processes (<1 KB).
     auto spec = ChainSpec::linear("img-pair",
                                   {"image-resize", "mr-splitter"});
     std::vector<int> placement{0, 0};
-    auto rec = runtime.invokeChainSync(spec, placement);
+    auto rec = runtime.invokeChainSync(spec, placement).value();
     out.comm = rec.edgeLatencies.at(0);
     return out;
 }

@@ -50,7 +50,7 @@ edges(DagCommMode mode, const std::vector<int> &placement)
     for (const auto &fn : Catalog::alexaChain())
         runtime.registerCpuFunction(fn, {PuType::HostCpu, PuType::Dpu});
     runtime.start();
-    auto rec = runtime.invokeChainSync(alexaSpec(), placement);
+    auto rec = runtime.invokeChainSync(alexaSpec(), placement).value();
     return rec.edgeLatencies;
 }
 

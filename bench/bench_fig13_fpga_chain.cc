@@ -32,9 +32,9 @@ chainLatency(int length, bool shm)
 
     // Chain of identical stages: reuse one slot sequentially (the
     // wrapper shares a DRAM bank for never-concurrent instances, §5).
-    core::ChainRecord rec;
+    obs::ChainRecord rec;
     auto run = [](Molecule *m, std::vector<std::string> chain, bool s,
-                  core::ChainRecord *out) -> sim::Task<> {
+                  obs::ChainRecord *out) -> sim::Task<> {
         *out = co_await m->dag().runFpgaChain(chain, 0, s, 4096);
     };
     runtime.simulation().spawn(run(&runtime, fns, shm, &rec));

@@ -31,7 +31,7 @@ chainE2e(bool moleculeMode, const std::vector<std::string> &fns,
         runtime.registerCpuFunction(fn, {PuType::HostCpu, PuType::Dpu});
     runtime.start();
     auto spec = ChainSpec::linear(fns.front(), fns);
-    return runtime.invokeChainSync(spec, placement).endToEnd;
+    return runtime.invokeChainSync(spec, placement).value().endToEnd;
 }
 
 } // namespace

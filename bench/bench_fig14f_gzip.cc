@@ -38,7 +38,7 @@ fpgaGzip(std::uint64_t bytes)
     runtime.registerFpgaFunction("fpga-gzip");
     runtime.start();
     (void)runtime.invokeFpgaSync("fpga-gzip", 0, 1); // warm it up
-    return runtime.invokeFpgaSync("fpga-gzip", 0, bytes).execution;
+    return runtime.invokeFpgaSync("fpga-gzip", 0, bytes).value().execution;
 }
 
 } // namespace

@@ -37,7 +37,7 @@ fpgaAml(std::uint64_t entries)
     runtime.registerFpgaFunction("fpga-aml");
     runtime.start();
     (void)runtime.invokeFpgaSync("fpga-aml", 0, 1);
-    return runtime.invokeFpgaSync("fpga-aml", 0, entries).execution;
+    return runtime.invokeFpgaSync("fpga-aml", 0, entries).value().execution;
 }
 
 } // namespace

@@ -48,15 +48,15 @@ struct F1Runtime
     warmKernel(const std::string &name)
     {
         (void)runtime.invokeFpgaSync(name, 0, 1); // warm
-        return runtime.invokeFpgaSync(name, 0, 1).execution;
+        return runtime.invokeFpgaSync(name, 0, 1).value().execution;
     }
 
     sim::SimTime
     chain(bool shm)
     {
-        core::ChainRecord rec;
+        obs::ChainRecord rec;
         auto run = [](Molecule *m, bool s,
-                      core::ChainRecord *out) -> sim::Task<> {
+                      obs::ChainRecord *out) -> sim::Task<> {
             *out = co_await m->dag().runFpgaChain(
                 Catalog::matrixKernels(), 0, s, 4096);
         };

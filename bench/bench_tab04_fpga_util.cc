@@ -48,8 +48,8 @@ main()
     }
     auto doIt = [](sandbox::RunfRuntime *r,
                    const std::vector<CreateRequest> *rs) -> sim::Task<> {
-        int created = co_await r->createVector(*rs);
-        MOLECULE_ASSERT(created == 12, "composition failed");
+        auto created = co_await r->createVector(*rs);
+        MOLECULE_ASSERT(created.valueOr(0) == 12, "composition failed");
     };
     sim.spawn(doIt(&runf, &reqs));
     sim.run();

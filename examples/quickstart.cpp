@@ -37,9 +37,18 @@ main()
     //    templates are prepared.
     runtime.start();
 
-    // 5. Invoke. The first request cold-starts an instance via cfork;
-    //    the second hits the keep-alive cache.
-    auto cold = runtime.invokeSync("image-resize");
+    // 5. Invoke. Outcomes are typed: invokeSync returns
+    //    core::Expected<obs::InvocationRecord>, so a failure (e.g. an
+    //    injected fault) surfaces as a core::Error instead of a crash.
+    //    The first request cold-starts an instance via cfork; the
+    //    second hits the keep-alive cache.
+    auto outcome = runtime.invokeSync("image-resize");
+    if (!outcome.ok()) {
+        std::fprintf(stderr, "invoke failed: %s\n",
+                     outcome.error().toString().c_str());
+        return 1;
+    }
+    auto cold = outcome.value();
     std::printf("cold : pu=%d (%s)  startup=%s  comm=%s  exec=%s  "
                 "e2e=%s\n",
                 cold.pu, hw::toString(computer->pu(cold.pu).type()),
@@ -48,7 +57,7 @@ main()
                 cold.execution.toString().c_str(),
                 cold.endToEnd.toString().c_str());
 
-    auto warm = runtime.invokeSync("image-resize", cold.pu);
+    auto warm = runtime.invokeSync("image-resize", cold.pu).value();
     std::printf("warm : pu=%d (%s)  startup=%s  comm=%s  exec=%s  "
                 "e2e=%s\n",
                 warm.pu, hw::toString(computer->pu(warm.pu).type()),

@@ -116,13 +116,13 @@ edgeTransfer(RunContext *ctx, int fromNode, int toNode,
             MOLECULE_ASSERT(writer && fd >= 0,
                             "missing xfifo connection %d->%d", fromNode,
                             toNode);
-            xpu::XpuStatus st =
+            core::Status st =
                 co_await writer->xfifoWrite(fd, bytes, "req");
-            MOLECULE_ASSERT(st == xpu::XpuStatus::Ok,
-                            "xfifo write failed: %s", toString(st));
-            xpu::ReadResult r = co_await to.client->xfifoRead(to.selfFd);
-            MOLECULE_ASSERT(r.status == xpu::XpuStatus::Ok,
-                            "xfifo read failed");
+            MOLECULE_ASSERT(st.ok(), "xfifo write failed: %s",
+                            st.toString().c_str());
+            auto r = co_await to.client->xfifoRead(to.selfFd);
+            MOLECULE_ASSERT(r.ok(), "xfifo read failed: %s",
+                            r.error().toString().c_str());
         }
         co_await toOs.simulation().delay(
             toOs.pu().netCost(calib::kIpcSerializeCost));
@@ -157,8 +157,10 @@ runNode(RunContext *ctx, int idx, sim::SimTime upstreamDone)
                           ? ep.def->cpuWork->execCost *
                                 ep.def->cpuWork->coldExecFactor
                           : ep.def->cpuWork->execCost;
-    co_await ctx->dep->runcOn(ep.pu).invoke(ep.acq.instance->id, exec,
-                                            span.ctx());
+    core::Status st = co_await ctx->dep->runcOn(ep.pu).invoke(
+        ep.acq.instance->id, exec, span.ctx());
+    MOLECULE_ASSERT(st.ok(), "chain node exec failed: %s",
+                    st.toString().c_str());
     ctx->execEnd[std::size_t(idx)] = sim.now();
     span.finish();
 
@@ -171,7 +173,7 @@ runNode(RunContext *ctx, int idx, sim::SimTime upstreamDone)
 
 } // namespace
 
-sim::Task<ChainRecord>
+sim::Task<obs::ChainRecord>
 DagEngine::run(const ChainSpec &spec, const std::vector<int> &placement,
                DagCommMode mode, bool prewarm, int managerPu,
                obs::SpanContext ctx)
@@ -230,9 +232,9 @@ DagEngine::run(const ChainSpec &spec, const std::vector<int> &placement,
                 dep_.shimOn(ep.pu), *ep.acq.instance->proc);
             ep.client->setTraceContext(ctx);
             auto fd = co_await ep.client->xfifoInit(ep.fifoName);
-            MOLECULE_ASSERT(fd.status == xpu::XpuStatus::Ok,
-                            "xfifo init failed");
-            ep.selfFd = fd.fd;
+            MOLECULE_ASSERT(fd.ok(), "xfifo init failed: %s",
+                            fd.error().toString().c_str());
+            ep.selfFd = fd.value();
         }
         // Connect writers: parent -> child (and gateway -> root) when
         // the edge crosses PUs; the owner grants Write first.
@@ -250,22 +252,24 @@ DagEngine::run(const ChainSpec &spec, const std::vector<int> &placement,
             const xpu::ObjId obj = child.client->objectOf(child.selfFd);
             auto st = co_await child.client->grantCap(
                 writer->xpuPid(), obj, xpu::Perm::Write);
-            MOLECULE_ASSERT(st == xpu::XpuStatus::Ok, "grant failed");
+            MOLECULE_ASSERT(st.ok(), "grant failed: %s",
+                            st.toString().c_str());
             auto fd = co_await writer->xfifoConnect(child.fifoName);
-            MOLECULE_ASSERT(fd.status == xpu::XpuStatus::Ok,
-                            "xfifo connect failed");
-            child.peerFds[parent] = fd.fd; // unused; kept symmetric
+            MOLECULE_ASSERT(fd.ok(), "xfifo connect failed: %s",
+                            fd.error().toString().c_str());
+            child.peerFds[parent] = fd.value(); // unused; kept symmetric
             if (parent < 0)
-                child.peerFds[-1] = fd.fd;
+                child.peerFds[-1] = fd.value();
             else
-                run.eps[std::size_t(parent)].peerFds[int(i)] = fd.fd;
+                run.eps[std::size_t(parent)].peerFds[int(i)] =
+                    fd.value();
         }
     }
 
     const sim::SimTime t0 = prewarm ? sim.now() : setupStart;
     co_await runNode(&run, 0, t0);
 
-    ChainRecord record;
+    obs::ChainRecord record;
     record.chain = spec.name;
     record.traceId = ctx.trace;
     sim::SimTime finish = t0;
@@ -275,7 +279,7 @@ DagEngine::run(const ChainSpec &spec, const std::vector<int> &placement,
     for (std::size_t i = 0; i < spec.nodes.size(); ++i) {
         if (spec.nodes[i].parent >= 0)
             record.edgeLatencies.push_back(run.edgeLatency[i]);
-        InvocationRecord inv;
+        obs::InvocationRecord inv;
         inv.function = spec.nodes[i].fn;
         inv.traceId = ctx.trace;
         inv.pu = run.eps[i].pu;
@@ -298,7 +302,7 @@ DagEngine::run(const ChainSpec &spec, const std::vector<int> &placement,
     co_return record;
 }
 
-sim::Task<ChainRecord>
+sim::Task<obs::ChainRecord>
 DagEngine::runFpgaChain(const std::vector<std::string> &fns,
                         int fpgaIndex, bool shmOptimization,
                         std::uint64_t messageBytes, obs::SpanContext ctx)
@@ -312,11 +316,13 @@ DagEngine::runFpgaChain(const std::vector<std::string> &fns,
     startup_.setFpgaHotSet(fpgaIndex, owned_fns);
     for (const auto &fn : owned_fns) {
         const FunctionDef &def = registry_.find(fn);
-        (void)co_await startup_.acquireFpga(def, fpgaIndex, ctx);
+        auto acq = co_await startup_.acquireFpga(def, fpgaIndex, ctx);
+        MOLECULE_ASSERT(acq.ok(), "fpga chain warm-up failed: %s",
+                        acq.error().toString().c_str());
     }
 
     const sim::SimTime t0 = sim.now();
-    ChainRecord record;
+    obs::ChainRecord record;
     record.chain = "fpga-chain";
     sim::SimTime prevDone = t0;
     for (std::size_t i = 0; i < owned_fns.size(); ++i) {

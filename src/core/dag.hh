@@ -22,8 +22,8 @@
 #include <string>
 #include <vector>
 
-#include "core/metrics.hh"
 #include "core/startup.hh"
+#include "obs/records.hh"
 
 namespace molecule::core {
 
@@ -81,11 +81,11 @@ class DagEngine
      *        (Fig 12 / Fig 14-e pre-boot instances)
      * @param managerPu PU hosting the Molecule runtime / gateway
      */
-    sim::Task<ChainRecord> run(const ChainSpec &spec,
-                               const std::vector<int> &placement,
-                               DagCommMode mode, bool prewarm,
-                               int managerPu = 0,
-                               obs::SpanContext ctx = {});
+    sim::Task<obs::ChainRecord> run(const ChainSpec &spec,
+                                    const std::vector<int> &placement,
+                                    DagCommMode mode, bool prewarm,
+                                    int managerPu = 0,
+                                    obs::SpanContext ctx = {});
 
     /**
      * Run a linear chain of FPGA functions on one card (Fig 13).
@@ -93,7 +93,7 @@ class DagEngine
      * FPGA-attached DRAM (data retention); otherwise every hop copies
      * through host memory (two DMA crossings).
      */
-    sim::Task<ChainRecord> runFpgaChain(
+    sim::Task<obs::ChainRecord> runFpgaChain(
         const std::vector<std::string> &fns, int fpgaIndex,
         bool shmOptimization, std::uint64_t messageBytes,
         obs::SpanContext ctx = {});

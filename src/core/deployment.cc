@@ -63,6 +63,16 @@ Deployment::rung(int index)
     return *rungs_[std::size_t(index)];
 }
 
+void
+Deployment::attachFaults(fault::FaultState *faults)
+{
+    faults_ = faults;
+    shimNet_->attachFaults(faults);
+    computer_.topology().attachFaults(faults);
+    for (auto &runf : runfs_)
+        runf->device().attachFaults(faults);
+}
+
 std::vector<int>
 Deployment::pusOfType(hw::PuType type) const
 {

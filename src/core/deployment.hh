@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/state.hh"
 #include "hw/computer.hh"
 #include "sandbox/runc.hh"
 #include "sandbox/runf.hh"
@@ -63,8 +64,26 @@ class Deployment
     /** PU ids of a given type. */
     std::vector<int> pusOfType(hw::PuType type) const;
 
+    /**
+     * Wire the fault state through every layer that reacts to it:
+     * shim network (peer-down checks), topology (link faults) and
+     * FPGA devices (reconfiguration failures). Nullptr detaches; the
+     * default (never attached) is the fault-free model, bit-identical
+     * to a build without the fault subsystem.
+     */
+    void attachFaults(fault::FaultState *faults);
+
+    fault::FaultState *faults() { return faults_; }
+
+    /** True when @p pu is currently crashed (false when unfaulted). */
+    bool puDown(int pu) const
+    {
+        return faults_ != nullptr && !faults_->puUp(pu);
+    }
+
   private:
     hw::Computer &computer_;
+    fault::FaultState *faults_ = nullptr;
     std::vector<std::unique_ptr<os::LocalOs>> oses_;
     std::unique_ptr<xpu::XpuShimNetwork> shimNet_;
     std::vector<std::unique_ptr<sandbox::RuncRuntime>> runcs_;

@@ -20,6 +20,13 @@ FunctionRegistry::find(const std::string &name) const
     return it->second;
 }
 
+const FunctionDef *
+FunctionRegistry::findPtr(const std::string &name) const
+{
+    auto it = defs_.find(name);
+    return it == defs_.end() ? nullptr : &it->second;
+}
+
 bool
 FunctionRegistry::has(const std::string &name) const
 {

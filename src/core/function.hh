@@ -63,6 +63,9 @@ class FunctionRegistry
 
     const FunctionDef &find(const std::string &name) const;
 
+    /** Lookup without the fatal-on-missing contract of find(). */
+    const FunctionDef *findPtr(const std::string &name) const;
+
     bool has(const std::string &name) const;
 
     std::size_t size() const { return defs_.size(); }

@@ -1,5 +1,7 @@
 #include "core/molecule.hh"
 
+#include <algorithm>
+
 #include "hw/calibration.hh"
 #include "sim/logging.hh"
 
@@ -14,10 +16,21 @@ Molecule::Molecule(hw::Computer &computer, MoleculeOptions options)
     startup_ = std::make_unique<StartupManager>(*dep_, registry_,
                                                 options_.startup);
     scheduler_ = std::make_unique<Scheduler>(*dep_, registry_);
+    gateway_ = std::make_unique<Gateway>(*dep_, *scheduler_);
     dag_ = std::make_unique<DagEngine>(*dep_, *startup_, registry_);
+    if (options_.faults != nullptr) {
+        dep_->attachFaults(options_.faults);
+        recovery_ = std::make_unique<RecoveryManager>(
+            *dep_, *startup_, options_.tracer);
+        options_.faults->addListener(recovery_.get());
+    }
 }
 
-Molecule::~Molecule() = default;
+Molecule::~Molecule()
+{
+    if (options_.faults != nullptr && recovery_ != nullptr)
+        options_.faults->removeListener(recovery_.get());
+}
 
 void
 Molecule::registerCpuFunction(const std::string &name,
@@ -88,62 +101,81 @@ Molecule::start()
     simulation().run();
 }
 
-sim::Task<InvocationRecord>
-Molecule::invoke(const std::string &fn, int pu)
+sim::Task<Expected<obs::InvocationRecord>>
+Molecule::invokeOnce(const FunctionDef &def, const InvokeOptions &opts,
+                     int attempt, const std::vector<int> &exclude,
+                     sim::SimTime t0, obs::SpanContext rootCtx,
+                     AcquiredInstance *acqOut)
 {
-    std::string owned_fn = fn;
-    const FunctionDef &def = registry_.find(owned_fn);
-    MOLECULE_ASSERT(def.cpuWork != nullptr,
-                    "'%s' is accelerator-only; use invokeFpga",
-                    owned_fn.c_str());
+    const FunctionDef *defp = &def;
+    const InvokeOptions owned_opts = opts;
+    const std::vector<int> owned_exclude =
+        owned_opts.failover ? exclude : std::vector<int>{};
+    AcquiredInstance *out = acqOut;
     auto &sim = simulation();
-    InvocationRecord rec;
-    rec.function = owned_fn;
 
-    // Root span of this invocation's trace: gateway admission and
-    // scheduler placement happen inside the runtime process on the
+    obs::InvocationRecord rec;
+    rec.function = defp->name;
+    rec.attempts = attempt;
+
+    // Admission + placement: pure control-plane computation on the
     // manager PU before any simulated time passes.
-    obs::Span root = obs::Span::root(options_.tracer, "invoke",
-                                     obs::Layer::Core,
-                                     options_.managerPu);
-    root.setDetail(owned_fn.c_str());
-    rec.traceId = root.traceId();
-
-    int target;
+    int target = -1;
     {
-        obs::Span admit(root.ctx(), "gateway.admit", obs::Layer::Core,
+        obs::Span admit(rootCtx, "gateway.admit", obs::Layer::Core,
                         options_.managerPu);
-        obs::Span place(root.ctx(), "sched.place", obs::Layer::Core,
+        obs::Span place(rootCtx, "sched.place", obs::Layer::Core,
                         options_.managerPu);
-        target = pu >= 0 ? pu : scheduler_->pickPu(def);
+        const int requested = attempt == 1 || !owned_opts.failover
+                                  ? owned_opts.pu
+                                  : -1;
+        const Expected<int> admitted =
+            gateway_->admit(*defp, requested, owned_exclude);
+        if (!admitted.ok())
+            co_return admitted.error();
+        target = admitted.value();
         place.setArg(target);
     }
-    MOLECULE_ASSERT(target >= 0, "no PU can admit '%s'",
-                    owned_fn.c_str());
     rec.pu = target;
 
-    const auto t0 = sim.now();
-    AcquiredInstance acq =
-        co_await startup_->acquire(def, target, options_.managerPu,
-                                   root.ctx());
-    MOLECULE_ASSERT(acq.instance != nullptr, "admission failed for '%s'",
-                    owned_fn.c_str());
+    AcquiredInstance acq = co_await startup_->acquire(
+        *defp, target, options_.managerPu, rootCtx);
+    *out = acq;
+    if (acq.instance == nullptr)
+        co_return Error(Errc::NoMemory,
+                        "admission failed for '" + defp->name + "'",
+                        target);
+    if (dep_->puDown(target))
+        co_return Error(Errc::PuCrashed,
+                        "'" + defp->name +
+                            "' lost its PU during startup",
+                        target);
     rec.coldStart = acq.cold;
     rec.startup = acq.startupTime;
+
+    if (owned_opts.deadline > sim::SimTime(0) &&
+        sim.now() - t0 > owned_opts.deadline) {
+        if (!acq.instance->dead)
+            co_await startup_->release(*defp, acq);
+        co_return Error(Errc::DeadlineExceeded,
+                        "'" + defp->name +
+                            "' missed its deadline after startup",
+                        target);
+    }
 
     // Request delivery from the runtime into the instance.
     const auto commStart = sim.now();
     auto &os = dep_->osOn(target);
     {
-        obs::Span comm(root.ctx(), "comm", obs::Layer::Core, target);
+        obs::Span comm(rootCtx, "comm", obs::Layer::Core, target);
         if (options_.managerPu != target) {
             co_await dep_->shimNet().transfer(options_.managerPu,
                                               target,
-                                              def.cpuWork->msgBytes,
+                                              defp->cpuWork->msgBytes,
                                               comm.ctx());
         }
         const bool isNode =
-            def.cpuWork->image.language == sandbox::Language::Node;
+            defp->cpuWork->image.language == sandbox::Language::Node;
         obs::Span disp(comm.ctx(), "os.dispatch", obs::Layer::Os,
                        target);
         if (options_.dagMode == DagCommMode::BaselineHttp) {
@@ -160,131 +192,351 @@ Molecule::invoke(const std::string &fn, int pu)
     }
     rec.communication = sim.now() - commStart;
 
+    if (owned_opts.deadline > sim::SimTime(0) &&
+        sim.now() - t0 > owned_opts.deadline) {
+        if (!acq.instance->dead && !dep_->puDown(target))
+            co_await startup_->release(*defp, acq);
+        co_return Error(Errc::DeadlineExceeded,
+                        "'" + defp->name +
+                            "' missed its deadline before execution",
+                        target);
+    }
+
     const auto execStart = sim.now();
     const auto exec = acq.cold
-                          ? def.cpuWork->execCost *
-                                def.cpuWork->coldExecFactor
-                          : def.cpuWork->execCost;
-    co_await dep_->runcOn(target).invoke(acq.instance->id, exec,
-                                         root.ctx());
+                          ? defp->cpuWork->execCost *
+                                defp->cpuWork->coldExecFactor
+                          : defp->cpuWork->execCost;
+    core::Status st = co_await dep_->runcOn(target).invoke(
+        acq.instance->id, exec, rootCtx);
+    if (!st.ok())
+        co_return st.error();
     rec.execution = sim.now() - execStart;
-    rec.endToEnd = sim.now() - t0;
-
-    // The measured window ends here; the keep-alive release below is
-    // runtime bookkeeping and must not stretch the root span.
-    root.finish();
-    co_await startup_->release(def, acq);
     co_return rec;
 }
 
-InvocationRecord
-Molecule::invokeSync(const std::string &fn, int pu)
+sim::Task<Expected<obs::InvocationRecord>>
+Molecule::invoke(const std::string &fn, const InvokeOptions &opts)
 {
-    InvocationRecord out;
-    auto run = [](Molecule *self, std::string name, int target,
-                  InvocationRecord *o) -> sim::Task<> {
-        *o = co_await self->invoke(name, target);
+    std::string owned_fn = fn;
+    InvokeOptions owned_opts = opts;
+    const FunctionDef *def = registry_.findPtr(owned_fn);
+    if (def == nullptr)
+        co_return Error(Errc::NotFound,
+                        "unknown function '" + owned_fn + "'");
+    MOLECULE_ASSERT(def->cpuWork != nullptr,
+                    "'%s' is accelerator-only; use invokeFpga",
+                    owned_fn.c_str());
+    auto &sim = simulation();
+
+    // Root span of this invocation's trace: all attempts (and the
+    // backoff pauses between them) nest under it.
+    obs::Span root = obs::Span::root(options_.tracer, "invoke",
+                                     obs::Layer::Core,
+                                     options_.managerPu);
+    root.setDetail(owned_fn.c_str());
+
+    const sim::SimTime t0 = sim.now();
+    const int maxAttempts =
+        owned_opts.maxAttempts < 1 ? 1 : owned_opts.maxAttempts;
+    std::vector<int> tried;
+    Error lastErr;
+    int attemptsMade = 0;
+
+    for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
+        attemptsMade = attempt;
+        if (attempt > 1) {
+            obs::Span backoff(root.ctx(), "retry.backoff",
+                              obs::Layer::Core, options_.managerPu);
+            backoff.setArg(attempt);
+            if (options_.tracer != nullptr)
+                options_.tracer->metrics()
+                    .counter("invoke.retry")
+                    .inc();
+            co_await sim.delay(owned_opts.retryBackoff);
+        }
+
+        AcquiredInstance acq;
+        Expected<obs::InvocationRecord> r = co_await invokeOnce(
+            *def, owned_opts, attempt, tried, t0, root.ctx(), &acq);
+        if (r.ok()) {
+            obs::InvocationRecord rec = std::move(r.value());
+            rec.traceId = root.traceId();
+            rec.pusTried = tried;
+            rec.failedOver =
+                !tried.empty() &&
+                std::find(tried.begin(), tried.end(), rec.pu) ==
+                    tried.end();
+            rec.endToEnd = sim.now() - t0;
+            // The measured window ends here; the keep-alive release
+            // below is runtime bookkeeping and must not stretch the
+            // root span.
+            root.finish();
+            if (acq.instance != nullptr && !acq.instance->dead &&
+                !dep_->puDown(rec.pu)) {
+                co_await startup_->release(*def, acq);
+            }
+            co_return rec;
+        }
+
+        lastErr = r.error();
+        if (lastErr.pu() >= 0 &&
+            std::find(tried.begin(), tried.end(), lastErr.pu()) ==
+                tried.end())
+            tried.push_back(lastErr.pu());
+        if (lastErr.code() == Errc::DeadlineExceeded)
+            break; // The budget is gone; a retry cannot make it.
+        if (options_.tracer != nullptr)
+            options_.tracer->metrics()
+                .counter("invoke.attempt_failed")
+                .inc();
+    }
+
+    if (options_.tracer != nullptr)
+        options_.tracer->metrics().counter("invoke.failed").inc();
+    if (attemptsMade <= 1 || lastErr.code() == Errc::DeadlineExceeded) {
+        Error out = lastErr;
+        out.withPusTried(tried);
+        co_return out;
+    }
+    Error out(Errc::RetriesExhausted,
+              "'" + owned_fn + "' failed after " +
+                  std::to_string(attemptsMade) + " attempts");
+    out.causedBy(lastErr)
+        .withRetries(attemptsMade - 1)
+        .withPusTried(tried);
+    co_return out;
+}
+
+sim::Task<Expected<obs::InvocationRecord>>
+Molecule::invoke(const std::string &fn, int pu)
+{
+    std::string owned_fn = fn;
+    InvokeOptions opts;
+    opts.pu = pu;
+    auto r = co_await invoke(owned_fn, opts);
+    co_return r;
+}
+
+Expected<obs::InvocationRecord>
+Molecule::invokeSync(const std::string &fn, const InvokeOptions &opts)
+{
+    // Watchdog slot: if the simulation drains with the invocation
+    // still pending — some fault left it blocked forever — the Hang
+    // error is what the caller sees instead of a silent garbage
+    // record.
+    Expected<obs::InvocationRecord> out(Error(
+        Errc::Hang,
+        "invocation of '" + fn +
+            "' did not complete before the simulation drained"));
+    auto run = [](Molecule *self, std::string name, InvokeOptions o,
+                  Expected<obs::InvocationRecord> *slot) -> sim::Task<> {
+        Expected<obs::InvocationRecord> r =
+            co_await self->invoke(name, o);
+        *slot = std::move(r);
     };
-    simulation().spawn(run(this, fn, pu, &out));
+    simulation().spawn(run(this, fn, opts, &out));
     simulation().run();
     return out;
 }
 
-sim::Task<InvocationRecord>
+Expected<obs::InvocationRecord>
+Molecule::invokeSync(const std::string &fn, int pu)
+{
+    InvokeOptions opts;
+    opts.pu = pu;
+    return invokeSync(fn, opts);
+}
+
+sim::Task<Expected<obs::InvocationRecord>>
+Molecule::invokeFpga(const std::string &fn, int fpgaIndex,
+                     std::uint64_t units, const InvokeOptions &opts)
+{
+    std::string owned_fn = fn;
+    InvokeOptions owned_opts = opts;
+    const int idx = fpgaIndex;
+    const std::uint64_t owned_units = units;
+    const FunctionDef *def = registry_.findPtr(owned_fn);
+    if (def == nullptr)
+        co_return Error(Errc::NotFound,
+                        "unknown function '" + owned_fn + "'");
+    MOLECULE_ASSERT(def->fpgaWork != nullptr, "'%s' has no FPGA profile",
+                    owned_fn.c_str());
+    auto &sim = simulation();
+    const int hostPu = dep_->computer().fpga(idx).hostPuId();
+
+    obs::Span root = obs::Span::root(options_.tracer, "invoke",
+                                     obs::Layer::Core, hostPu);
+    root.setDetail(owned_fn.c_str());
+
+    const sim::SimTime t0 = sim.now();
+    const int maxAttempts =
+        owned_opts.maxAttempts < 1 ? 1 : owned_opts.maxAttempts;
+    Error lastErr;
+    int attemptsMade = 0;
+
+    // Reconfiguration failures are transient and count-limited, so
+    // retries re-attempt on the same card — no cross-card failover.
+    for (int attempt = 1; attempt <= maxAttempts; ++attempt) {
+        attemptsMade = attempt;
+        if (attempt > 1) {
+            obs::Span backoff(root.ctx(), "retry.backoff",
+                              obs::Layer::Core, hostPu);
+            backoff.setArg(attempt);
+            if (options_.tracer != nullptr)
+                options_.tracer->metrics()
+                    .counter("invoke.retry")
+                    .inc();
+            co_await sim.delay(owned_opts.retryBackoff);
+        }
+        if (owned_opts.deadline > sim::SimTime(0) &&
+            sim.now() - t0 > owned_opts.deadline) {
+            lastErr = Error(Errc::DeadlineExceeded,
+                            "'" + owned_fn +
+                                "' missed its deadline at admission",
+                            hostPu);
+            break;
+        }
+        if (dep_->puDown(hostPu)) {
+            lastErr = Error(Errc::PuCrashed,
+                            "FPGA host PU is down", hostPu);
+            continue;
+        }
+
+        Expected<AcquiredFpga> acq =
+            co_await startup_->acquireFpga(*def, idx, root.ctx());
+        if (!acq.ok()) {
+            lastErr = acq.error();
+            continue;
+        }
+
+        obs::InvocationRecord rec;
+        rec.function = owned_fn;
+        rec.pu = hostPu;
+        rec.traceId = root.traceId();
+        rec.attempts = attempt;
+        rec.coldStart = acq.value().cold;
+        rec.startup = acq.value().startupTime;
+
+        const auto execStart = sim.now();
+        co_await dep_->runf(idx).invoke(
+            acq.value().sandboxId,
+            def->fpgaWork->kernelTime(owned_units),
+            def->fpgaWork->dmaInBytes(owned_units),
+            def->fpgaWork->dmaOutBytes(owned_units), false, false,
+            root.ctx());
+        rec.execution = sim.now() - execStart;
+        rec.endToEnd = sim.now() - t0;
+        co_return rec;
+    }
+
+    if (options_.tracer != nullptr)
+        options_.tracer->metrics().counter("invoke.failed").inc();
+    if (attemptsMade <= 1 || lastErr.code() == Errc::DeadlineExceeded)
+        co_return lastErr;
+    Error out(Errc::RetriesExhausted,
+              "'" + owned_fn + "' failed after " +
+                  std::to_string(attemptsMade) + " attempts");
+    out.causedBy(lastErr).withRetries(attemptsMade - 1);
+    co_return out;
+}
+
+sim::Task<Expected<obs::InvocationRecord>>
 Molecule::invokeFpga(const std::string &fn, int fpgaIndex,
                      std::uint64_t units)
 {
     std::string owned_fn = fn;
-    const FunctionDef &def = registry_.find(owned_fn);
-    MOLECULE_ASSERT(def.fpgaWork != nullptr, "'%s' has no FPGA profile",
-                    owned_fn.c_str());
-    auto &sim = simulation();
-    InvocationRecord rec;
-    rec.function = owned_fn;
-    rec.pu = dep_->computer().fpga(fpgaIndex).hostPuId();
-
-    obs::Span root = obs::Span::root(options_.tracer, "invoke",
-                                     obs::Layer::Core, rec.pu);
-    root.setDetail(owned_fn.c_str());
-    rec.traceId = root.traceId();
-
-    const auto t0 = sim.now();
-    AcquiredFpga acq =
-        co_await startup_->acquireFpga(def, fpgaIndex, root.ctx());
-    rec.coldStart = acq.cold;
-    rec.startup = acq.startupTime;
-
-    const auto execStart = sim.now();
-    co_await dep_->runf(fpgaIndex).invoke(
-        acq.sandboxId, def.fpgaWork->kernelTime(units),
-        def.fpgaWork->dmaInBytes(units), def.fpgaWork->dmaOutBytes(units),
-        false, false, root.ctx());
-    rec.execution = sim.now() - execStart;
-    rec.endToEnd = sim.now() - t0;
-    co_return rec;
+    InvokeOptions opts;
+    auto r = co_await invokeFpga(owned_fn, fpgaIndex, units, opts);
+    co_return r;
 }
 
-InvocationRecord
+Expected<obs::InvocationRecord>
 Molecule::invokeFpgaSync(const std::string &fn, int fpgaIndex,
-                         std::uint64_t units)
+                         std::uint64_t units, const InvokeOptions &opts)
 {
-    InvocationRecord out;
+    Expected<obs::InvocationRecord> out(Error(
+        Errc::Hang,
+        "invocation of '" + fn +
+            "' did not complete before the simulation drained"));
     auto run = [](Molecule *self, std::string name, int idx,
-                  std::uint64_t u, InvocationRecord *o) -> sim::Task<> {
-        *o = co_await self->invokeFpga(name, idx, u);
+                  std::uint64_t u, InvokeOptions o,
+                  Expected<obs::InvocationRecord> *slot) -> sim::Task<> {
+        Expected<obs::InvocationRecord> r =
+            co_await self->invokeFpga(name, idx, u, o);
+        *slot = std::move(r);
     };
-    simulation().spawn(run(this, fn, fpgaIndex, units, &out));
+    simulation().spawn(run(this, fn, fpgaIndex, units, opts, &out));
     simulation().run();
     return out;
 }
 
-sim::Task<InvocationRecord>
+Expected<obs::InvocationRecord>
+Molecule::invokeFpgaSync(const std::string &fn, int fpgaIndex,
+                         std::uint64_t units)
+{
+    return invokeFpgaSync(fn, fpgaIndex, units, InvokeOptions{});
+}
+
+sim::Task<Expected<obs::InvocationRecord>>
 Molecule::invokeGpu(const std::string &fn, int gpuIndex)
 {
     std::string owned_fn = fn;
-    const FunctionDef &def = registry_.find(owned_fn);
-    MOLECULE_ASSERT(def.gpuKernelTime > sim::SimTime(0),
+    const int idx = gpuIndex;
+    const FunctionDef *def = registry_.findPtr(owned_fn);
+    if (def == nullptr)
+        co_return Error(Errc::NotFound,
+                        "unknown function '" + owned_fn + "'");
+    MOLECULE_ASSERT(def->gpuKernelTime > sim::SimTime(0),
                     "'%s' has no GPU profile", owned_fn.c_str());
     auto &sim = simulation();
-    InvocationRecord rec;
+    obs::InvocationRecord rec;
     rec.function = owned_fn;
-    rec.pu = dep_->computer().gpuDev(gpuIndex).hostPuId();
+    rec.pu = dep_->computer().gpuDev(idx).hostPuId();
 
     obs::Span root = obs::Span::root(options_.tracer, "invoke",
                                      obs::Layer::Core, rec.pu);
     root.setDetail(owned_fn.c_str());
     rec.traceId = root.traceId();
 
+    if (dep_->puDown(rec.pu))
+        co_return Error(Errc::PuCrashed, "GPU host PU is down",
+                        rec.pu);
+
     const auto t0 = sim.now();
     AcquiredFpga acq =
-        co_await startup_->acquireGpu(def, gpuIndex, root.ctx());
+        co_await startup_->acquireGpu(*def, idx, root.ctx());
     rec.coldStart = acq.cold;
     rec.startup = acq.startupTime;
 
     const auto execStart = sim.now();
-    co_await dep_->rung(gpuIndex).invoke(acq.sandboxId,
-                                         def.gpuKernelTime,
-                                         def.gpuIoBytes,
-                                         def.gpuIoBytes, root.ctx());
+    co_await dep_->rung(idx).invoke(acq.sandboxId, def->gpuKernelTime,
+                                    def->gpuIoBytes, def->gpuIoBytes,
+                                    root.ctx());
     rec.execution = sim.now() - execStart;
     rec.endToEnd = sim.now() - t0;
     co_return rec;
 }
 
-InvocationRecord
+Expected<obs::InvocationRecord>
 Molecule::invokeGpuSync(const std::string &fn, int gpuIndex)
 {
-    InvocationRecord out;
+    Expected<obs::InvocationRecord> out(Error(
+        Errc::Hang,
+        "invocation of '" + fn +
+            "' did not complete before the simulation drained"));
     auto run = [](Molecule *self, std::string name, int idx,
-                  InvocationRecord *o) -> sim::Task<> {
-        *o = co_await self->invokeGpu(name, idx);
+                  Expected<obs::InvocationRecord> *slot) -> sim::Task<> {
+        Expected<obs::InvocationRecord> r =
+            co_await self->invokeGpu(name, idx);
+        *slot = std::move(r);
     };
     simulation().spawn(run(this, fn, gpuIndex, &out));
     simulation().run();
     return out;
 }
 
-sim::Task<ChainRecord>
+sim::Task<Expected<obs::ChainRecord>>
 Molecule::invokeChain(const ChainSpec &spec, std::vector<int> placement,
                       bool prewarm)
 {
@@ -292,23 +544,38 @@ Molecule::invokeChain(const ChainSpec &spec, std::vector<int> placement,
     std::vector<int> owned_placement = std::move(placement);
     if (owned_placement.empty())
         owned_placement = scheduler_->placeChain(owned_spec);
+    for (int pu : owned_placement) {
+        if (dep_->puDown(pu))
+            co_return Error(Errc::PuCrashed,
+                            "chain '" + owned_spec.name +
+                                "' placed on a down PU",
+                            pu);
+    }
     obs::Span root = obs::Span::root(options_.tracer, "chain",
                                      obs::Layer::Core,
                                      options_.managerPu);
     root.setDetail(owned_spec.name.c_str());
-    co_return co_await dag_->run(owned_spec, owned_placement,
-                                 options_.dagMode, prewarm,
-                                 options_.managerPu, root.ctx());
+    obs::ChainRecord record =
+        co_await dag_->run(owned_spec, owned_placement,
+                           options_.dagMode, prewarm,
+                           options_.managerPu, root.ctx());
+    co_return record;
 }
 
-ChainRecord
+Expected<obs::ChainRecord>
 Molecule::invokeChainSync(const ChainSpec &spec,
                           std::vector<int> placement, bool prewarm)
 {
-    ChainRecord out;
+    Expected<obs::ChainRecord> out(Error(
+        Errc::Hang,
+        "chain '" + spec.name +
+            "' did not complete before the simulation drained"));
     auto run = [](Molecule *self, ChainSpec s, std::vector<int> p,
-                  bool w, ChainRecord *o) -> sim::Task<> {
-        *o = co_await self->invokeChain(s, std::move(p), w);
+                  bool w,
+                  Expected<obs::ChainRecord> *slot) -> sim::Task<> {
+        Expected<obs::ChainRecord> r =
+            co_await self->invokeChain(s, std::move(p), w);
+        *slot = std::move(r);
     };
     simulation().spawn(run(this, spec, std::move(placement), prewarm,
                            &out));

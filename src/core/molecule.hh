@@ -11,6 +11,12 @@
  *  - Molecule-homo   : cold-boot startup + Express/Flask HTTP DAG,
  *                      single-PU only (no XPU-Shim use).
  *
+ * Invocation outcomes are typed: every invoke returns
+ * `core::Expected<obs::InvocationRecord>` so injected faults (PU
+ * crashes, OOM kills, FPGA reconfiguration failures) surface as
+ * `core::Error` chains instead of asserts — with optional
+ * retry-with-backoff and failover placement per InvokeOptions.
+ *
  * @code
  *   sim::Simulation s;
  *   auto computer = hw::buildCpuDpuServer(s, 2, hw::DpuGeneration::Bf1);
@@ -19,6 +25,8 @@
  *                               {hw::PuType::HostCpu, hw::PuType::Dpu});
  *   runtime.start();
  *   auto record = runtime.invokeSync("helloworld");
+ *   if (record.ok())
+ *       use(record.value().endToEnd);
  * @endcode
  */
 
@@ -30,9 +38,11 @@
 
 #include "core/dag.hh"
 #include "core/gateway.hh"
-#include "core/metrics.hh"
+#include "core/recovery.hh"
 #include "core/scheduler.hh"
 #include "core/startup.hh"
+#include "core/status.hh"
+#include "fault/state.hh"
 #include "obs/trace.hh"
 #include "workloads/catalog.hh"
 
@@ -51,6 +61,14 @@ struct MoleculeOptions
      * Must outlive the Molecule and belong to the same Simulation.
      */
     obs::Tracer *tracer = nullptr;
+    /**
+     * Shared fault state driven by a fault::Injector. Null (the
+     * default) runs fault-free with zero model impact; when set, the
+     * runtime registers its RecoveryManager as a listener and every
+     * layer consults the state (down PUs, degraded links, armed
+     * reconfiguration failures). Must outlive the Molecule.
+     */
+    fault::FaultState *faults = nullptr;
 
     /** The homogeneous baseline configuration of §6. */
     static MoleculeOptions
@@ -61,6 +79,25 @@ struct MoleculeOptions
         o.dagMode = DagCommMode::BaselineHttp;
         return o;
     }
+};
+
+/** Per-invocation resilience knobs (§ fault injection & recovery). */
+struct InvokeOptions
+{
+    /** Explicit placement; -1 lets the scheduler pick. */
+    int pu = -1;
+    /**
+     * End-to-end sim-time budget enforced at admission and between
+     * phases; zero disables. Exceeding it returns DeadlineExceeded
+     * (never retried — the budget is already gone).
+     */
+    sim::SimTime deadline{};
+    /** Total attempts (1 = no retry). */
+    int maxAttempts = 1;
+    /** Sim-time pause before each retry attempt. */
+    sim::SimTime retryBackoff = sim::SimTime::milliseconds(5);
+    /** Allow retries to fail over to another allowed PU. */
+    bool failover = true;
 };
 
 /**
@@ -83,6 +120,8 @@ class Molecule
 
     Scheduler &scheduler() { return *scheduler_; }
 
+    Gateway &gateway() { return *gateway_; }
+
     DagEngine &dag() { return *dag_; }
 
     workloads::Catalog &catalog() { return catalog_; }
@@ -90,6 +129,9 @@ class Molecule
     sim::Simulation &simulation() { return computer_.simulation(); }
 
     const MoleculeOptions &options() const { return options_; }
+
+    /** Recovery listener; null when no fault state is attached. */
+    RecoveryManager *recovery() { return recovery_.get(); }
     ///@}
 
     /** @name Function registration */
@@ -126,38 +168,86 @@ class Molecule
     /** @name Invocation (synchronous helpers run the simulation) */
     ///@{
 
+    /**
+     * One invocation with full resilience control. Retries run the
+     * whole admission/startup/comm/exec pipeline again after
+     * @ref InvokeOptions::retryBackoff; with failover enabled the
+     * retry excludes every PU a previous attempt failed on. On
+     * exhaustion the RetriesExhausted error carries the last cause,
+     * the retry count and the PUs tried.
+     */
+    sim::Task<Expected<obs::InvocationRecord>>
+    invoke(const std::string &fn, const InvokeOptions &opts);
+
     /** One invocation; @p pu -1 lets the scheduler pick. */
-    sim::Task<InvocationRecord> invoke(const std::string &fn,
-                                       int pu = -1);
+    sim::Task<Expected<obs::InvocationRecord>>
+    invoke(const std::string &fn, int pu = -1);
 
-    /** Run the simulation until @ref invoke completes. */
-    InvocationRecord invokeSync(const std::string &fn, int pu = -1);
+    /**
+     * Run the simulation until @ref invoke completes. If the
+     * simulation drains while the invocation is still pending (a hang
+     * — some fault left it blocked forever), returns Errc::Hang.
+     */
+    Expected<obs::InvocationRecord>
+    invokeSync(const std::string &fn, const InvokeOptions &opts);
 
-    /** One FPGA invocation with @p units of input. */
-    sim::Task<InvocationRecord> invokeFpga(const std::string &fn,
-                                           int fpgaIndex,
-                                           std::uint64_t units);
+    Expected<obs::InvocationRecord> invokeSync(const std::string &fn,
+                                               int pu = -1);
 
-    InvocationRecord invokeFpgaSync(const std::string &fn,
-                                    int fpgaIndex, std::uint64_t units);
+    /**
+     * One FPGA invocation with @p units of input. Injected
+     * reconfiguration failures surface as FpgaReconfigFailed; retries
+     * (per @p opts) re-attempt on the same card — reconfiguration
+     * faults are transient and count-limited, so there is no cross-
+     * card failover.
+     */
+    sim::Task<Expected<obs::InvocationRecord>>
+    invokeFpga(const std::string &fn, int fpgaIndex,
+               std::uint64_t units, const InvokeOptions &opts);
+
+    sim::Task<Expected<obs::InvocationRecord>>
+    invokeFpga(const std::string &fn, int fpgaIndex,
+               std::uint64_t units);
+
+    Expected<obs::InvocationRecord>
+    invokeFpgaSync(const std::string &fn, int fpgaIndex,
+                   std::uint64_t units, const InvokeOptions &opts);
+
+    Expected<obs::InvocationRecord>
+    invokeFpgaSync(const std::string &fn, int fpgaIndex,
+                   std::uint64_t units);
 
     /** One GPU invocation (§6.8 generality path). */
-    sim::Task<InvocationRecord> invokeGpu(const std::string &fn,
-                                          int gpuIndex);
+    sim::Task<Expected<obs::InvocationRecord>>
+    invokeGpu(const std::string &fn, int gpuIndex);
 
-    InvocationRecord invokeGpuSync(const std::string &fn, int gpuIndex);
+    Expected<obs::InvocationRecord> invokeGpuSync(const std::string &fn,
+                                                  int gpuIndex);
 
     /** Run a chain; empty placement lets the scheduler place it. */
-    sim::Task<ChainRecord> invokeChain(const ChainSpec &spec,
-                                       std::vector<int> placement = {},
-                                       bool prewarm = true);
+    sim::Task<Expected<obs::ChainRecord>>
+    invokeChain(const ChainSpec &spec, std::vector<int> placement = {},
+                bool prewarm = true);
 
-    ChainRecord invokeChainSync(const ChainSpec &spec,
-                                std::vector<int> placement = {},
-                                bool prewarm = true);
+    Expected<obs::ChainRecord>
+    invokeChainSync(const ChainSpec &spec,
+                    std::vector<int> placement = {},
+                    bool prewarm = true);
     ///@}
 
   private:
+    /**
+     * One attempt of the CPU/DPU pipeline (no retry logic). On
+     * success @p acqOut holds the acquired instance so the caller can
+     * release it *after* closing the root span (keep-alive bookkeeping
+     * must not stretch the measured window).
+     */
+    sim::Task<Expected<obs::InvocationRecord>>
+    invokeOnce(const FunctionDef &def, const InvokeOptions &opts,
+               int attempt, const std::vector<int> &exclude,
+               sim::SimTime t0, obs::SpanContext rootCtx,
+               AcquiredInstance *acqOut);
+
     hw::Computer &computer_;
     MoleculeOptions options_;
     workloads::Catalog catalog_;
@@ -165,7 +255,9 @@ class Molecule
     std::unique_ptr<Deployment> dep_;
     std::unique_ptr<StartupManager> startup_;
     std::unique_ptr<Scheduler> scheduler_;
+    std::unique_ptr<Gateway> gateway_;
     std::unique_ptr<DagEngine> dag_;
+    std::unique_ptr<RecoveryManager> recovery_;
     bool started_ = false;
 };
 

@@ -1,0 +1,75 @@
+#include "core/recovery.hh"
+
+namespace molecule::core {
+
+void
+RecoveryManager::onPuCrash(int pu)
+{
+    ++crashes_;
+    // Order matters: runc drops its process/container pointers first
+    // (crashReset reaps them wholesale — exiting them twice would
+    // double-free), then the OS reaps and poisons, then the shim
+    // fails its pending reads and drops the capability replica.
+    dep_.runcOn(pu).crashPurge();
+    dep_.osOn(pu).crashReset();
+    dep_.shimOn(pu).crashLocal();
+    startup_.purgePu(pu);
+    if (tracer_ != nullptr)
+        tracer_->metrics().counter("recovery.crash_purge").inc();
+}
+
+void
+RecoveryManager::onPuRestart(int pu)
+{
+    ++restarts_;
+    dep_.simulation().spawn(recoverTask(this, pu));
+}
+
+void
+RecoveryManager::onSandboxOom(int pu, const std::string &funcId)
+{
+    const int killed = dep_.runcOn(pu).oomKill(funcId);
+    startup_.purgeFunction(funcId, pu);
+    if (tracer_ != nullptr && killed > 0)
+        tracer_->metrics().counter("fault.oom_killed").inc(killed);
+}
+
+sim::Task<>
+RecoveryManager::recoverTask(RecoveryManager *self, int pu)
+{
+    obs::Span root = obs::Span::root(self->tracer_, "recovery",
+                                     obs::Layer::Core, pu);
+    {
+        obs::Span span(root.ctx(), "recovery.resync", obs::Layer::Core,
+                       pu);
+        // Rebuild the capability replica from the lowest-id live
+        // peer: the replica rides the interconnect, then applies.
+        int peer = -1;
+        for (int candidate : self->dep_.generalPus()) {
+            if (candidate == pu || self->dep_.puDown(candidate))
+                continue;
+            peer = candidate;
+            break;
+        }
+        if (peer >= 0) {
+            xpu::XpuShim &peerShim = self->dep_.shimOn(peer);
+            const std::uint64_t bytes =
+                64 * (1 + peerShim.caps().objectCount());
+            span.setArg(std::int64_t(bytes));
+            co_await self->dep_.shimNet().transfer(peer, pu, bytes,
+                                                   span.ctx());
+            self->dep_.shimOn(pu).resyncFrom(peerShim);
+            if (self->tracer_ != nullptr)
+                self->tracer_->metrics()
+                    .counter("recovery.resync")
+                    .inc();
+        } else {
+            span.setDetail("no-live-peer");
+        }
+    }
+    co_await self->startup_.rewarmPu(pu, root.ctx());
+    if (self->tracer_ != nullptr)
+        self->tracer_->metrics().counter("recovery.rewarm").inc();
+}
+
+} // namespace molecule::core

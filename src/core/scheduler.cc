@@ -11,7 +11,8 @@ Scheduler::admissibleBytes(int pu) const
 }
 
 int
-Scheduler::pickPu(const FunctionDef &fn) const
+Scheduler::pickPu(const FunctionDef &fn,
+                  const std::vector<int> &exclude) const
 {
     decisions_.fetchAdd(1);
     // Profiles sorted by price: cheapest first.
@@ -26,6 +27,11 @@ Scheduler::pickPu(const FunctionDef &fn) const
                    : 0;
     for (const auto &profile : profiles) {
         for (int pu : dep_.pusOfType(profile.kind)) {
+            if (std::find(exclude.begin(), exclude.end(), pu) !=
+                exclude.end())
+                continue;
+            if (dep_.puDown(pu))
+                continue;
             if (admissibleBytes(pu) >= need)
                 return pu;
         }

@@ -31,10 +31,13 @@ class Scheduler
     /**
      * Pick a PU for a single invocation of @p fn: the profile with the
      * lowest price whose PU kind has a unit with enough free memory
-     * for a fresh instance.
+     * for a fresh instance. PUs in @p exclude (failed attempts of this
+     * invocation) and crashed PUs are skipped — failover placement
+     * moves the retry to another allowed PU kind.
      * @return PU id, or -1 when no PU can admit the function.
      */
-    int pickPu(const FunctionDef &fn) const;
+    int pickPu(const FunctionDef &fn,
+               const std::vector<int> &exclude = {}) const;
 
     /**
      * Place a whole chain: all nodes on one PU when a single PU allows

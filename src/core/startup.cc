@@ -35,8 +35,8 @@ StartupManager::bootstrap(int managerPu)
             continue;
         std::vector<xpu::CapGrant> capv;
         auto r = co_await client.xspawn(pu, "molecule-executor", capv);
-        MOLECULE_ASSERT(r.status == xpu::XpuStatus::Ok,
-                        "executor spawn on PU %d failed", pu);
+        MOLECULE_ASSERT(r.ok(), "executor spawn on PU %d failed: %s", pu,
+                        r.error().toString().c_str());
     }
 
     if (!options_.useCfork)
@@ -99,14 +99,18 @@ StartupManager::acquire(const FunctionDef &fn, int pu, int managerPu,
 
     ++freq_[key];
     auto poolIt = warmPools_.find(key);
-    if (poolIt != warmPools_.end() && !poolIt->second.empty()) {
+    while (poolIt != warmPools_.end() && !poolIt->second.empty()) {
         WarmEntry entry = poolIt->second.front();
         poolIt->second.pop_front();
-        ++warmHits_;
         AcquiredInstance out;
         out.instance = dep_.runcOn(pu).find(entry.sandboxId);
         MOLECULE_ASSERT(out.instance != nullptr,
                         "warm pool held a dead sandbox");
+        // An instance killed while parked (OOM, PU crash) is skipped;
+        // exhausting the pool falls through to a cold start.
+        if (out.instance->dead)
+            continue;
+        ++warmHits_;
         out.pu = pu;
         out.cold = false;
         out.startupTime = sim.now() - t0;
@@ -256,7 +260,7 @@ StartupManager::setFpgaHotSet(int fpgaIndex,
     fpgaHotSets_[fpgaIndex] = std::move(funcIds);
 }
 
-sim::Task<AcquiredFpga>
+sim::Task<Expected<AcquiredFpga>>
 StartupManager::acquireFpga(const FunctionDef &fn, int fpgaIndex,
                             obs::SpanContext ctx)
 {
@@ -291,8 +295,13 @@ StartupManager::acquireFpga(const FunctionDef &fn, int fpgaIndex,
             reqs.push_back(sandbox::CreateRequest{
                 "fpga/" + name, &def.fpgaWork->image, span.ctx()});
         }
-        const int created = co_await runf.createVector(reqs);
-        MOLECULE_ASSERT(created == int(reqs.size()),
+        const Expected<int> created = co_await runf.createVector(reqs);
+        if (!created.ok()) {
+            // Composition or (injected) reconfiguration failure: the
+            // fabric holds no usable image; the caller may retry.
+            co_return created.error();
+        }
+        MOLECULE_ASSERT(created.value() == int(reqs.size()),
                         "FPGA image composition failed (resources?)");
     } else {
         ++warmHits_;
@@ -303,10 +312,13 @@ StartupManager::acquireFpga(const FunctionDef &fn, int fpgaIndex,
                      dep_.computer().fpga(fpgaIndex).hostPuId());
         started = co_await runf.start(sandboxId);
     }
-    MOLECULE_ASSERT(started, "FPGA sandbox '%s' failed to start",
-                    sandboxId.c_str());
+    if (!started)
+        co_return Error(Errc::NotFound,
+                        "FPGA sandbox '" + sandboxId +
+                            "' failed to start (image not resident)",
+                        dep_.computer().fpga(fpgaIndex).hostPuId());
     out.startupTime = sim.now() - t0;
-    co_return out;
+    co_return Expected<AcquiredFpga>(std::move(out));
 }
 
 sim::Task<AcquiredFpga>
@@ -364,6 +376,48 @@ StartupManager::warmCount(const std::string &fn, int pu) const
 {
     auto it = warmPools_.find(PoolKey{fn, pu});
     return it == warmPools_.end() ? 0 : it->second.size();
+}
+
+void
+StartupManager::purgePu(int pu)
+{
+    for (auto &[key, pool] : warmPools_)
+        if (key.second == pu)
+            pool.clear();
+}
+
+void
+StartupManager::purgeFunction(const std::string &fn, int pu)
+{
+    auto it = warmPools_.find(PoolKey{fn, pu});
+    if (it != warmPools_.end())
+        it->second.clear();
+}
+
+sim::Task<>
+StartupManager::rewarmPu(int pu, obs::SpanContext ctx)
+{
+    // The reboot destroyed every instance, template and pooled
+    // container on the PU; the pool entries pointing at them are
+    // already purged at crash time (RecoveryManager), but a restart
+    // between crash and purge is impossible, so purge again cheaply.
+    purgePu(pu);
+    if (!options_.useCfork)
+        co_return;
+    obs::Span span(ctx, "recovery.rewarm", obs::Layer::Core, pu);
+    auto &runc = dep_.runcOn(pu);
+    bool preparedPython = false, preparedNode = false;
+    for (const auto *img : registry_.imagesForTemplates()) {
+        if (img->language == sandbox::Language::Python &&
+            !preparedPython) {
+            preparedPython = co_await runc.prepareTemplate(*img);
+        } else if (img->language == sandbox::Language::Node &&
+                   !preparedNode) {
+            preparedNode = co_await runc.prepareTemplate(*img);
+        }
+    }
+    co_await runc.prewarmFunctionContainers(
+        options_.pooledContainersPerPu);
 }
 
 } // namespace molecule::core

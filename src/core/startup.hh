@@ -24,6 +24,7 @@
 
 #include "core/deployment.hh"
 #include "core/function.hh"
+#include "core/status.hh"
 #include "obs/trace.hh"
 
 namespace molecule::core {
@@ -109,11 +110,13 @@ class StartupManager
 
     /**
      * Get a dispatchable FPGA sandbox for @p fn: warm-sandbox hit,
-     * cached-instance start, or a full image (re)composition.
+     * cached-instance start, or a full image (re)composition. Typed
+     * failures surface composition errors (NoCapacity) and injected
+     * reconfiguration failures (FpgaReconfigFailed) for retry.
      */
-    sim::Task<AcquiredFpga> acquireFpga(const FunctionDef &fn,
-                                        int fpgaIndex,
-                                        obs::SpanContext ctx = {});
+    sim::Task<Expected<AcquiredFpga>>
+    acquireFpga(const FunctionDef &fn, int fpgaIndex,
+                obs::SpanContext ctx = {});
 
     /**
      * Get a dispatchable GPU sandbox (§6.8): GPUs keep many modules
@@ -122,6 +125,22 @@ class StartupManager
     sim::Task<AcquiredFpga> acquireGpu(const FunctionDef &fn,
                                        int gpuIndex,
                                        obs::SpanContext ctx = {});
+
+    /** @name Fault recovery (driven by core::RecoveryManager) */
+    ///@{
+
+    /** Drop every warm-pool entry on @p pu (its instances died). */
+    void purgePu(int pu);
+
+    /** Drop the warm pool of (@p fn, @p pu) after an OOM kill. */
+    void purgeFunction(const std::string &fn, int pu);
+
+    /**
+     * Re-warm a restarted PU: re-prepare the cfork templates and the
+     * pre-initialized container pool that the reboot destroyed.
+     */
+    sim::Task<> rewarmPu(int pu, obs::SpanContext ctx = {});
+    ///@}
 
     /** Warm-pool depth for (fn, pu) (tests). */
     std::size_t warmCount(const std::string &fn, int pu) const;

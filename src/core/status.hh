@@ -1,0 +1,362 @@
+/**
+ * @file
+ * The uniform outcome model of the public runtime surface.
+ *
+ * Every fallible operation returns either core::Status (no payload) or
+ * core::Expected<T> (payload or error). core::Error is a *value*: a
+ * tagged code, a human-readable detail, the PU it happened on, the
+ * C++ source location that created it, and — because recovery retries
+ * and fails over — the chain of causes accumulated along the way plus
+ * the retry/placement history. Errors are ordinary copyable objects so
+ * they can cross coroutine frames, sweep-runner threads, and the
+ * sync/async API boundary without ceremony.
+ *
+ * This header is intentionally self-contained (std-only): it sits in
+ * core/ because the *policy* it expresses — typed failure instead of
+ * assert-or-hang — is runtime-wide, but lower layers (hw, os, xpu,
+ * sandbox) include it freely; it introduces no link-time dependency.
+ */
+
+#ifndef MOLECULE_CORE_STATUS_HH
+#define MOLECULE_CORE_STATUS_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <source_location>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace molecule::core {
+
+/** Tagged error codes of the runtime surface. */
+enum class Errc : std::uint8_t {
+    Ok = 0,
+
+    // Request/permission errors (the old xpu::XpuStatus family).
+    NoPermission,
+    NotFound,
+    AlreadyExists,
+    InvalidArgument,
+    NoMemory,
+
+    // Admission / placement.
+    NoCapacity,
+    DeadlineExceeded,
+
+    // Injected-fault families.
+    PuCrashed,
+    PeerRestarted,
+    LinkDown,
+    FpgaReconfigFailed,
+    SandboxOomKilled,
+
+    // Recovery outcomes.
+    RetriesExhausted,
+    /** Sim drained with the invocation still pending (watchdog). */
+    Hang,
+};
+
+inline const char *
+toString(Errc c)
+{
+    switch (c) {
+    case Errc::Ok:
+        return "ok";
+    case Errc::NoPermission:
+        return "no-permission";
+    case Errc::NotFound:
+        return "not-found";
+    case Errc::AlreadyExists:
+        return "already-exists";
+    case Errc::InvalidArgument:
+        return "invalid-argument";
+    case Errc::NoMemory:
+        return "no-memory";
+    case Errc::NoCapacity:
+        return "no-capacity";
+    case Errc::DeadlineExceeded:
+        return "deadline-exceeded";
+    case Errc::PuCrashed:
+        return "pu-crashed";
+    case Errc::PeerRestarted:
+        return "peer-restarted";
+    case Errc::LinkDown:
+        return "link-down";
+    case Errc::FpgaReconfigFailed:
+        return "fpga-reconfig-failed";
+    case Errc::SandboxOomKilled:
+        return "sandbox-oom-killed";
+    case Errc::RetriesExhausted:
+        return "retries-exhausted";
+    case Errc::Hang:
+        return "hang";
+    }
+    return "?";
+}
+
+/** One link of an error-cause chain. */
+struct ErrorFrame
+{
+    Errc code = Errc::Ok;
+    std::string detail;
+    /** PU the failure happened on; -1 when not PU-specific. */
+    int pu = -1;
+};
+
+/**
+ * A failure as a value. The primary frame describes what ultimately
+ * failed; causes() lists earlier failures (most recent first) that led
+ * here — e.g. RetriesExhausted caused by PuCrashed caused by
+ * SandboxOomKilled. Recovery annotates retries() and pusTried().
+ */
+class Error
+{
+  public:
+    Error() = default;
+
+    Error(Errc code, std::string detail = {}, int pu = -1,
+          std::source_location origin = std::source_location::current())
+        : code_(code), detail_(std::move(detail)), pu_(pu),
+          origin_(origin)
+    {}
+
+    Errc code() const { return code_; }
+
+    const std::string &detail() const { return detail_; }
+
+    int pu() const { return pu_; }
+
+    const std::source_location &origin() const { return origin_; }
+
+    /** Earlier failures that led to this one, most recent first. */
+    const std::vector<ErrorFrame> &causes() const { return causes_; }
+
+    int retries() const { return retries_; }
+
+    const std::vector<int> &pusTried() const { return pusTried_; }
+
+    /** Record @p cause (and its own causes) behind this error. */
+    Error &
+    causedBy(const Error &cause)
+    {
+        causes_.push_back(
+            ErrorFrame{cause.code(), cause.detail(), cause.pu()});
+        for (const auto &f : cause.causes())
+            causes_.push_back(f);
+        return *this;
+    }
+
+    Error &
+    withRetries(int n)
+    {
+        retries_ = n;
+        return *this;
+    }
+
+    Error &
+    withPusTried(std::vector<int> pus)
+    {
+        pusTried_ = std::move(pus);
+        return *this;
+    }
+
+    /** True for any code but Ok. */
+    explicit operator bool() const { return code_ != Errc::Ok; }
+
+    /** "pu-crashed (pu1): dpu rebooted [<- sandbox-oom-killed ...]" */
+    std::string
+    toString() const
+    {
+        std::string s = molecule::core::toString(code_);
+        if (pu_ >= 0)
+            s += " (pu" + std::to_string(pu_) + ")";
+        if (!detail_.empty())
+            s += ": " + detail_;
+        if (retries_ > 0)
+            s += " [retries=" + std::to_string(retries_) + "]";
+        if (!pusTried_.empty()) {
+            s += " [tried";
+            for (int pu : pusTried_)
+                s += " pu" + std::to_string(pu);
+            s += "]";
+        }
+        for (const auto &f : causes_) {
+            s += " <- ";
+            s += molecule::core::toString(f.code);
+            if (f.pu >= 0)
+                s += " (pu" + std::to_string(f.pu) + ")";
+            if (!f.detail.empty())
+                s += ": " + f.detail;
+        }
+        return s;
+    }
+
+  private:
+    Errc code_ = Errc::Ok;
+    std::string detail_;
+    int pu_ = -1;
+    std::source_location origin_ = std::source_location::current();
+    int retries_ = 0;
+    std::vector<int> pusTried_;
+    std::vector<ErrorFrame> causes_;
+};
+
+namespace detail {
+
+[[noreturn]] inline void
+outcomeFatal(const char *what, const std::string &text)
+{
+    std::fprintf(stderr, "molecule: %s: %s\n", what, text.c_str());
+    std::abort();
+}
+
+} // namespace detail
+
+/**
+ * Outcome of an operation with no payload. Statuses must be looked at:
+ * discarding one silently swallows an injected fault.
+ */
+class [[nodiscard]] Status
+{
+  public:
+    /** Success. */
+    Status() = default;
+
+    /** Failure (constructing from an Ok-coded Error is a bug). */
+    Status(Error error) : error_(std::move(error))
+    {
+        if (error_ && error_->code() == Errc::Ok)
+            error_.reset();
+    }
+
+    Status(Errc code, std::string detail = {}, int pu = -1,
+           std::source_location origin = std::source_location::current())
+    {
+        if (code != Errc::Ok)
+            error_.emplace(code, std::move(detail), pu, origin);
+    }
+
+    bool ok() const { return !error_.has_value(); }
+
+    explicit operator bool() const { return ok(); }
+
+    Errc code() const { return error_ ? error_->code() : Errc::Ok; }
+
+    /** The failure; fatal when ok() (there is nothing to return). */
+    const Error &
+    error() const
+    {
+        if (!error_)
+            detail::outcomeFatal("Status::error() on ok status", "");
+        return *error_;
+    }
+
+    std::string
+    toString() const
+    {
+        return error_ ? error_->toString() : std::string("ok");
+    }
+
+  private:
+    std::optional<Error> error_;
+};
+
+/**
+ * Outcome of an operation with a payload: holds exactly one of T or
+ * Error. value() on an error is fatal with the full error chain —
+ * callers that can recover test ok() first; callers that cannot get a
+ * crash that names the cause instead of undefined behavior.
+ */
+template <typename T> class [[nodiscard]] Expected
+{
+  public:
+    Expected(T value) : state_(std::in_place_index<0>, std::move(value))
+    {}
+
+    Expected(Error error)
+        : state_(std::in_place_index<1>, std::move(error))
+    {
+        if (std::get<1>(state_).code() == Errc::Ok)
+            detail::outcomeFatal("Expected constructed from ok Error",
+                                 "use the value constructor");
+    }
+
+    Expected(Errc code, std::string detail = {}, int pu = -1,
+             std::source_location origin =
+                 std::source_location::current())
+        : state_(std::in_place_index<1>,
+                 Error(code, std::move(detail), pu, origin))
+    {}
+
+    bool ok() const { return state_.index() == 0; }
+
+    explicit operator bool() const { return ok(); }
+
+    const T &
+    value() const &
+    {
+        if (!ok())
+            detail::outcomeFatal("Expected::value() on error",
+                                 error().toString());
+        return std::get<0>(state_);
+    }
+
+    T &
+    value() &
+    {
+        if (!ok())
+            detail::outcomeFatal("Expected::value() on error",
+                                 error().toString());
+        return std::get<0>(state_);
+    }
+
+    T &&
+    value() &&
+    {
+        if (!ok())
+            detail::outcomeFatal("Expected::value() on error",
+                                 error().toString());
+        return std::get<0>(std::move(state_));
+    }
+
+    T
+    valueOr(T fallback) const
+    {
+        return ok() ? std::get<0>(state_) : std::move(fallback);
+    }
+
+    const T &operator*() const & { return value(); }
+
+    T &operator*() & { return value(); }
+
+    const T *operator->() const { return &value(); }
+
+    T *operator->() { return &value(); }
+
+    /** The failure; fatal when ok(). */
+    const Error &
+    error() const
+    {
+        if (ok())
+            detail::outcomeFatal("Expected::error() on ok outcome", "");
+        return std::get<1>(state_);
+    }
+
+    /** This outcome's error as a Status (ok when ok). */
+    Status
+    status() const
+    {
+        return ok() ? Status() : Status(error());
+    }
+
+  private:
+    std::variant<T, Error> state_;
+};
+
+} // namespace molecule::core
+
+#endif // MOLECULE_CORE_STATUS_HH

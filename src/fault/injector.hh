@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Arms an InjectionPlan against a running simulation.
+ *
+ * The Injector schedules exactly one event per fault spec (plus one
+ * restart event per PuCrash) at plan-build-time instants. An empty
+ * plan schedules nothing — attaching an Injector with an empty plan
+ * is bit-identical to not attaching one (the "empty tracer" pattern
+ * of obs::Tracer, enforced by the golden-digest chaos tests).
+ *
+ * Observability: each fired fault emits a "fault.inject" root span
+ * (detail = kind) and bumps per-kind counters when a tracer is
+ * attached; recovery spans are emitted by the recovery layer, not
+ * here.
+ */
+
+#ifndef MOLECULE_FAULT_INJECTOR_HH
+#define MOLECULE_FAULT_INJECTOR_HH
+
+#include <deque>
+
+#include "fault/plan.hh"
+#include "fault/state.hh"
+#include "obs/trace.hh"
+#include "sim/simulation.hh"
+
+namespace molecule::fault {
+
+class Injector
+{
+  public:
+    /**
+     * @param sim the simulation whose clock drives fault instants
+     * @param state the fault state the fired faults mutate
+     * @param tracer optional span/counter sink (may be null)
+     */
+    Injector(sim::Simulation &sim, FaultState &state,
+             obs::Tracer *tracer = nullptr)
+        : sim_(sim), state_(state), tracer_(tracer)
+    {}
+
+    Injector(const Injector &) = delete;
+    Injector &operator=(const Injector &) = delete;
+
+    /**
+     * Schedule every spec of @p plan. Specs whose instant is in the
+     * past fire at the current instant (ordered behind pending work).
+     * No-op for an empty plan. May be called more than once; armed
+     * specs are copied into injector-owned storage.
+     */
+    void arm(const InjectionPlan &plan);
+
+    /** Faults fired so far (restarts not counted). */
+    int firedCount() const { return fired_; }
+
+  private:
+    void fire(const FaultSpec &spec);
+
+    void restart(int pu);
+
+    sim::Simulation &sim_;
+    FaultState &state_;
+    obs::Tracer *tracer_;
+    /** Stable addresses: scheduled lambdas point into this deque. */
+    std::deque<FaultSpec> armed_;
+    int fired_ = 0;
+};
+
+} // namespace molecule::fault
+
+#endif // MOLECULE_FAULT_INJECTOR_HH

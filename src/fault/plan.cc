@@ -1,0 +1,241 @@
+#include "fault/plan.hh"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "sim/random.hh"
+
+namespace molecule::fault {
+
+const char *
+toString(FaultKind k)
+{
+    switch (k) {
+    case FaultKind::PuCrash:
+        return "pu-crash";
+    case FaultKind::LinkDegrade:
+        return "link-degrade";
+    case FaultKind::FpgaReconfigFail:
+        return "fpga-reconfig-fail";
+    case FaultKind::SandboxOom:
+        return "sandbox-oom";
+    }
+    return "?";
+}
+
+InjectionPlan &
+InjectionPlan::crashPu(int pu, sim::SimTime at, sim::SimTime downFor)
+{
+    FaultSpec s;
+    s.kind = FaultKind::PuCrash;
+    s.at = at;
+    s.pu = pu;
+    s.duration = downFor;
+    return add(std::move(s));
+}
+
+InjectionPlan &
+InjectionPlan::degradeLink(int a, int b, sim::SimTime at,
+                           sim::SimTime blackout, sim::SimTime window,
+                           double factor)
+{
+    FaultSpec s;
+    s.kind = FaultKind::LinkDegrade;
+    s.at = at;
+    s.pu = a;
+    s.peer = b;
+    s.blackout = blackout;
+    s.duration = window;
+    s.factor = factor;
+    return add(std::move(s));
+}
+
+InjectionPlan &
+InjectionPlan::failFpgaReconfig(int pu, sim::SimTime at, int count)
+{
+    FaultSpec s;
+    s.kind = FaultKind::FpgaReconfigFail;
+    s.at = at;
+    s.pu = pu;
+    s.count = count;
+    return add(std::move(s));
+}
+
+InjectionPlan &
+InjectionPlan::oomKill(int pu, const std::string &function,
+                       sim::SimTime at)
+{
+    FaultSpec s;
+    s.kind = FaultKind::SandboxOom;
+    s.at = at;
+    s.pu = pu;
+    s.target = function;
+    return add(std::move(s));
+}
+
+InjectionPlan
+InjectionPlan::scatter(std::uint64_t seed, int puCount,
+                       sim::SimTime horizon, int count,
+                       const ScatterMix &mix)
+{
+    InjectionPlan plan(seed);
+    // Plan-owned stream: scattering happens at build time and shares
+    // nothing with the simulation RNG.
+    sim::Rng rng(seed ^ 0x6661756c74ULL /* "fault" */);
+
+    std::vector<FaultKind> kinds;
+    if (mix.puCrash)
+        kinds.push_back(FaultKind::PuCrash);
+    if (mix.linkDegrade)
+        kinds.push_back(FaultKind::LinkDegrade);
+    if (mix.fpgaReconfig)
+        kinds.push_back(FaultKind::FpgaReconfigFail);
+    if (mix.sandboxOom)
+        kinds.push_back(FaultKind::SandboxOom);
+    if (kinds.empty() || puCount <= 0 || count <= 0)
+        return plan;
+
+    for (int i = 0; i < count; ++i) {
+        const FaultKind kind =
+            kinds[std::size_t(rng.uniformInt(0, int(kinds.size()) - 1))];
+        const sim::SimTime at{rng.uniformInt(0, horizon.raw() - 1)};
+        const int pu = int(rng.uniformInt(0, puCount - 1));
+        switch (kind) {
+        case FaultKind::PuCrash:
+            // Never crash PU 0: the manager PU is this model's
+            // stand-in for the host control plane.
+            plan.crashPu(pu == 0 ? 1 % puCount : pu, at,
+                         sim::SimTime{rng.uniformInt(
+                             sim::SimTime::milliseconds(1).raw(),
+                             sim::SimTime::milliseconds(20).raw())});
+            break;
+        case FaultKind::LinkDegrade: {
+            const int peer = (pu + 1) % puCount;
+            const sim::SimTime window{rng.uniformInt(
+                sim::SimTime::milliseconds(2).raw(),
+                sim::SimTime::milliseconds(30).raw())};
+            plan.degradeLink(pu, peer, at, window / 4.0, window,
+                             rng.uniform(1.5, 8.0));
+            break;
+        }
+        case FaultKind::FpgaReconfigFail:
+            plan.failFpgaReconfig(pu, at,
+                                  int(rng.uniformInt(1, 2)));
+            break;
+        case FaultKind::SandboxOom:
+            plan.oomKill(pu, mix.oomFunction, at);
+            break;
+        }
+    }
+    return plan;
+}
+
+std::string
+InjectionPlan::serialize() const
+{
+    std::ostringstream out;
+    out << "injection-plan v1 seed=" << seed_ << "\n";
+    for (const auto &f : faults_) {
+        out << "fault kind=" << toString(f.kind) << " at=" << f.at.raw()
+            << " pu=" << f.pu << " peer=" << f.peer
+            << " dur=" << f.duration.raw()
+            << " blackout=" << f.blackout.raw();
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%.17g", f.factor);
+        out << " factor=" << buf << " count=" << f.count
+            << " target=" << f.target << "\n";
+    }
+    return out.str();
+}
+
+namespace {
+
+/** Parse "key=value" off the front of @p s; empty key on mismatch. */
+bool
+splitKv(const std::string &tok, std::string &key, std::string &val)
+{
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos)
+        return false;
+    key = tok.substr(0, eq);
+    val = tok.substr(eq + 1);
+    return true;
+}
+
+core::Expected<FaultKind>
+parseKind(const std::string &s)
+{
+    for (FaultKind k :
+         {FaultKind::PuCrash, FaultKind::LinkDegrade,
+          FaultKind::FpgaReconfigFail, FaultKind::SandboxOom}) {
+        if (s == toString(k))
+            return k;
+    }
+    return core::Error(core::Errc::InvalidArgument,
+                       "unknown fault kind '" + s + "'");
+}
+
+} // namespace
+
+core::Expected<InjectionPlan>
+InjectionPlan::parse(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line))
+        return core::Error(core::Errc::InvalidArgument, "empty plan");
+    std::uint64_t seed = 0;
+    if (std::sscanf(line.c_str(), "injection-plan v1 seed=%" SCNu64,
+                    &seed) != 1)
+        return core::Error(core::Errc::InvalidArgument,
+                           "bad plan header: " + line);
+    InjectionPlan plan(seed);
+
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream toks(line);
+        std::string word;
+        toks >> word;
+        if (word != "fault")
+            return core::Error(core::Errc::InvalidArgument,
+                               "bad plan line: " + line);
+        FaultSpec spec;
+        std::string key, val;
+        while (toks >> word) {
+            if (!splitKv(word, key, val))
+                return core::Error(core::Errc::InvalidArgument,
+                                   "bad token '" + word + "'");
+            if (key == "kind") {
+                auto kind = parseKind(val);
+                if (!kind.ok())
+                    return kind.error();
+                spec.kind = kind.value();
+            } else if (key == "at") {
+                spec.at = sim::SimTime(std::stoll(val));
+            } else if (key == "pu") {
+                spec.pu = std::stoi(val);
+            } else if (key == "peer") {
+                spec.peer = std::stoi(val);
+            } else if (key == "dur") {
+                spec.duration = sim::SimTime(std::stoll(val));
+            } else if (key == "blackout") {
+                spec.blackout = sim::SimTime(std::stoll(val));
+            } else if (key == "factor") {
+                spec.factor = std::stod(val);
+            } else if (key == "count") {
+                spec.count = std::stoi(val);
+            } else if (key == "target") {
+                spec.target = val;
+            } else {
+                return core::Error(core::Errc::InvalidArgument,
+                                   "unknown key '" + key + "'");
+            }
+        }
+        plan.add(std::move(spec));
+    }
+    return plan;
+}
+
+} // namespace molecule::fault

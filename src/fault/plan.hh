@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Deterministic fault-injection plans.
+ *
+ * An InjectionPlan is a *value*: an ordered list of fault specs, each
+ * pinned to an absolute sim-time instant and a named target. Plans are
+ * built by hand (tests), scattered pseudo-randomly from a seed
+ * (chaos sweeps), or parsed back from their own serialization — all
+ * three produce bit-identical simulations for identical plans.
+ *
+ * Determinism rules (DESIGN.md §6):
+ *  - A plan consumes NO simulation randomness. scatter() draws from a
+ *    plan-owned sim::Rng seeded independently, at build time, before
+ *    the simulation runs.
+ *  - An empty plan has zero model impact: the Injector schedules no
+ *    events and the fault hooks in hw/os/sandbox never fire — the
+ *    same golden digests hold with no plan and with an empty one.
+ *  - Fault instants are absolute sim time fixed at build time, never
+ *    derived from model state, so the injected schedule is identical
+ *    run-to-run regardless of what the workload does.
+ */
+
+#ifndef MOLECULE_FAULT_PLAN_HH
+#define MOLECULE_FAULT_PLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.hh"
+#include "sim/time.hh"
+
+namespace molecule::fault {
+
+/** The injectable failure families (§2 failure domains). */
+enum class FaultKind : std::uint8_t {
+    /** A PU (DPU, host socket) crashes, dropping its local OS state
+     * and capability-table replica, then reboots after `duration`. */
+    PuCrash,
+    /** An interconnect link drops for `blackout`, then runs with
+     * latencies degraded by `factor` until the window ends. */
+    LinkDegrade,
+    /** The next `count` FPGA partial reconfigurations on this PU fail
+     * mid-program (image not flashed, slot left erased). */
+    FpgaReconfigFail,
+    /** The per-function sandboxes of `target` on this PU are
+     * OOM-killed (warm pool entries die; running invocations fail). */
+    SandboxOom,
+};
+
+const char *toString(FaultKind k);
+
+/** One scheduled fault. Field use depends on `kind` (see FaultKind). */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::PuCrash;
+    /** Absolute sim-time instant the fault fires. */
+    sim::SimTime at{};
+    /** Target PU (crash / FPGA / OOM) or link endpoint A. */
+    int pu = -1;
+    /** Link endpoint B (LinkDegrade only). */
+    int peer = -1;
+    /** Crash downtime, or total link-degradation window. */
+    sim::SimTime duration{};
+    /** Initial full-drop period of a link fault (<= duration). */
+    sim::SimTime blackout{};
+    /** Link latency multiplier for the rest of the window. */
+    double factor = 1.0;
+    /** Number of consecutive FPGA reconfig failures armed. */
+    int count = 1;
+    /** Function name (SandboxOom); free-form label otherwise. */
+    std::string target;
+
+    bool operator==(const FaultSpec &) const = default;
+};
+
+/**
+ * A deterministic, serializable schedule of faults.
+ */
+class InjectionPlan
+{
+  public:
+    InjectionPlan() = default;
+
+    explicit InjectionPlan(std::uint64_t seed) : seed_(seed) {}
+
+    std::uint64_t seed() const { return seed_; }
+
+    bool empty() const { return faults_.empty(); }
+
+    std::size_t size() const { return faults_.size(); }
+
+    const std::vector<FaultSpec> &specs() const { return faults_; }
+
+    InjectionPlan &
+    add(FaultSpec spec)
+    {
+        faults_.push_back(std::move(spec));
+        return *this;
+    }
+
+    /** @name Spec builders (fluent) */
+    ///@{
+    InjectionPlan &crashPu(int pu, sim::SimTime at, sim::SimTime downFor);
+
+    InjectionPlan &degradeLink(int a, int b, sim::SimTime at,
+                               sim::SimTime blackout, sim::SimTime window,
+                               double factor);
+
+    InjectionPlan &failFpgaReconfig(int pu, sim::SimTime at,
+                                    int count = 1);
+
+    InjectionPlan &oomKill(int pu, const std::string &function,
+                           sim::SimTime at);
+    ///@}
+
+    /**
+     * Scatter @p count faults of the kinds enabled in @p mix uniformly
+     * over [0, horizon), targeting PUs in [0, puCount). Uses a
+     * plan-owned RNG seeded from @p seed at build time — the resulting
+     * plan is a pure function of its arguments.
+     */
+    struct ScatterMix
+    {
+        bool puCrash = true;
+        bool linkDegrade = true;
+        bool fpgaReconfig = false;
+        bool sandboxOom = false;
+        /** Function targeted by SandboxOom faults. */
+        std::string oomFunction;
+    };
+
+    static InjectionPlan scatter(std::uint64_t seed, int puCount,
+                                 sim::SimTime horizon, int count,
+                                 const ScatterMix &mix);
+
+    /**
+     * Line-oriented text form, round-trippable through parse():
+     *   injection-plan v1 seed=<n>
+     *   fault kind=<k> at=<ns> pu=<p> peer=<p> dur=<ns> blackout=<ns>
+     *         factor=<f> count=<n> target=<s>
+     */
+    std::string serialize() const;
+
+    static core::Expected<InjectionPlan> parse(const std::string &text);
+
+    bool operator==(const InjectionPlan &) const = default;
+
+  private:
+    std::uint64_t seed_ = 0;
+    std::vector<FaultSpec> faults_;
+};
+
+} // namespace molecule::fault
+
+#endif // MOLECULE_FAULT_PLAN_HH

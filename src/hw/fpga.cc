@@ -23,7 +23,7 @@ FpgaDevice::erase(obs::SpanContext ctx)
     co_await sim_.delay(calib::kFpgaEraseCost);
 }
 
-sim::Task<>
+sim::Task<core::Status>
 FpgaDevice::program(FpgaImage image, ProgramMode mode, bool retainDram,
                     obs::SpanContext ctx)
 {
@@ -41,6 +41,21 @@ FpgaDevice::program(FpgaImage image, ProgramMode mode, bool retainDram,
                           : calib::kFpgaProgramCachedCost;
     co_await sim_.delay(cost);
 
+    if (faults_ != nullptr &&
+        faults_->consumeFpgaReconfigFailure(hostPuId_)) {
+        // Mid-flash failure: the time is spent, the slot ends up
+        // erased. Retained DRAM banks survive (§4.3 retention is a
+        // property of the banks, not the fabric).
+        span.setDetail("reconfig-failed");
+        image_.reset();
+        slotBusy_.clear();
+        imageEpoch_.fetchAdd(1);
+        co_return core::Status(core::Errc::FpgaReconfigFailed,
+                               "partial reconfiguration failed "
+                               "mid-flash",
+                               hostPuId_);
+    }
+
     image_.emplace(std::move(image));
     slotBusy_.clear();
     for (std::size_t i = 0; i < image_->slots.size(); ++i)
@@ -52,6 +67,7 @@ FpgaDevice::program(FpgaImage image, ProgramMode mode, bool retainDram,
             b.data.clear();
     }
     ++programCount_;
+    co_return core::Status();
 }
 
 const FpgaImage &

@@ -24,6 +24,8 @@
 #include <string>
 #include <vector>
 
+#include "core/status.hh"
+#include "fault/state.hh"
 #include "hw/calibration.hh"
 #include "obs/trace.hh"
 #include "sim/analysis.hh"
@@ -158,12 +160,19 @@ class FpgaDevice
 
     /**
      * Program @p image, replacing any resident image. Fails fatally if
-     * the image does not fit the fabric. When @p retainDram is true
-     * (data-retention feature, §4.3) bank contents survive; otherwise
-     * banks are cleared.
+     * the image does not fit the fabric (a composition bug, not a
+     * runtime fault). When @p retainDram is true (data-retention
+     * feature, §4.3) bank contents survive; otherwise banks are
+     * cleared.
+     *
+     * @return ok, or FpgaReconfigFailed when an injected reconfig
+     *         failure fires mid-flash: the flash time is spent, the
+     *         slot is left erased (no resident image), and retained
+     *         DRAM banks survive — recovery may retry program().
      */
-    sim::Task<> program(FpgaImage image, ProgramMode mode,
-                        bool retainDram, obs::SpanContext ctx = {});
+    sim::Task<core::Status> program(FpgaImage image, ProgramMode mode,
+                                    bool retainDram,
+                                    obs::SpanContext ctx = {});
 
     bool hasImage() const { return image_.has_value(); }
 
@@ -207,6 +216,9 @@ class FpgaDevice
     void bankClear(int bank);
     ///@}
 
+    /** Arm injected reconfig failures (null: never fail). */
+    void attachFaults(fault::FaultState *faults) { faults_ = faults; }
+
     /** @name Stats */
     ///@{
     std::int64_t programCount() const { return programCount_; }
@@ -227,6 +239,7 @@ class FpgaDevice
     sim::Simulation &sim_;
     int id_;
     int hostPuId_;
+    fault::FaultState *faults_ = nullptr;
     FpgaResources totals_;
     std::optional<FpgaImage> image_;
     /** One in-flight invocation per slot (index-aligned with image). */

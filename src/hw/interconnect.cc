@@ -55,11 +55,15 @@ Link::transferLatency(std::uint64_t bytes) const
 }
 
 sim::Task<>
-Link::transfer(std::uint64_t bytes)
+Link::transfer(std::uint64_t bytes, double degrade)
 {
     bytesMoved_.fetchAdd(bytes);
     const auto base = transferLatency(bytes);
-    const auto jittered = base * sim_.rng().jitter(params_.jitterRel);
+    auto jittered = base * sim_.rng().jitter(params_.jitterRel);
+    // Apply injected degradation only when armed: the healthy path
+    // must not round through an extra multiply.
+    if (degrade != 1.0)
+        jittered = jittered * degrade;
     co_await sim_.delay(jittered);
 }
 
@@ -105,6 +109,21 @@ Topology::transfer(int a, int b, std::uint64_t bytes,
 {
     obs::Span span(ctx, "hw.link", obs::Layer::Hw, a);
     span.setArg(std::int64_t(bytes));
+    double degrade = 1.0;
+    if (faults_ != nullptr) {
+        const fault::LinkFault *lf = faults_->linkFault(a, b);
+        if (lf != nullptr) {
+            const sim::SimTime now = sim_.now();
+            if (lf->downUntil > now) {
+                // Full drop: the transfer stalls until the link
+                // returns (flap semantics, not loss).
+                span.setDetail("link-down-stall");
+                co_await sim_.delay(lf->downUntil - now);
+            }
+            if (lf->degradedUntil > sim_.now())
+                degrade = lf->factor;
+        }
+    }
     const Route &r = route(a, b);
     bool first = true;
     for (Link *hop : r.hops) {
@@ -113,7 +132,7 @@ Topology::transfer(int a, int b, std::uint64_t bytes,
             co_await sim_.delay(r.forwardCost);
         }
         first = false;
-        co_await hop->transfer(bytes);
+        co_await hop->transfer(bytes, degrade);
     }
 }
 

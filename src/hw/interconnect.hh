@@ -17,6 +17,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/state.hh"
 #include "hw/calibration.hh"
 #include "obs/trace.hh"
 #include "sim/analysis.hh"
@@ -58,8 +59,13 @@ class Link
     /** Latency of moving @p bytes across the link (no contention). */
     sim::SimTime transferLatency(std::uint64_t bytes) const;
 
-    /** Move @p bytes across the link, suspending for the latency. */
-    sim::Task<> transfer(std::uint64_t bytes);
+    /**
+     * Move @p bytes across the link, suspending for the latency.
+     * @p degrade multiplies the jittered latency (injected link
+     * faults); 1.0 — the only value in fault-free runs — is applied
+     * as a no-op so healthy timings are bit-identical.
+     */
+    sim::Task<> transfer(std::uint64_t bytes, double degrade = 1.0);
 
     /** Total bytes moved (stats). */
     std::uint64_t bytesMoved() const { return bytesMoved_.peek(); }
@@ -120,8 +126,20 @@ class Topology
     /** Closed-form latency of the a -> b route (no contention). */
     sim::SimTime transferLatency(int a, int b, std::uint64_t bytes) const;
 
+    /**
+     * Consult @p faults before every transfer: a dropped link stalls
+     * transfers until it returns; a degraded link multiplies hop
+     * latencies. Null (the default) means no fault model — transfers
+     * take the exact pre-fault code path.
+     */
+    void attachFaults(const fault::FaultState *faults)
+    {
+        faults_ = faults;
+    }
+
   private:
     sim::Simulation &sim_;
+    const fault::FaultState *faults_ = nullptr;
     std::vector<std::unique_ptr<Link>> links_;
     std::map<std::pair<int, int>, Route> routes_;
 };

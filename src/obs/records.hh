@@ -37,6 +37,13 @@ struct InvocationRecord
     sim::SimTime endToEnd;
     /** Trace of this invocation (0: tracing off). */
     std::uint64_t traceId = 0;
+    /** Attempts taken to complete (1: no retry). */
+    int attempts = 1;
+    /** Every PU an attempt ran on, in attempt order. */
+    std::vector<int> pusTried;
+    /** True when the completing attempt ran on a different PU than
+     * the first one (scheduler failover after a fault). */
+    bool failedOver = false;
 };
 
 /** Timing of one DAG/chain execution. */

@@ -54,6 +54,19 @@ class LocalFifo
 
     std::size_t depth() const { return queue_.size(); }
 
+    /**
+     * Fault path: wake every blocked reader with a sentinel message
+     * (zero bytes, @p tag starting with "!") so no coroutine hangs on
+     * a FIFO whose writer died. Readers must check the tag.
+     */
+    void
+    poison(const std::string &tag)
+    {
+        const std::size_t n = queue_.waitingGetters();
+        for (std::size_t i = 0; i < n; ++i)
+            (void)queue_.tryPut(FifoMessage{0, tag});
+    }
+
   private:
     LocalOs &os_;
     std::string name_;

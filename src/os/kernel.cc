@@ -117,4 +117,19 @@ LocalOs::removeFifo(const std::string &name)
     fifos_.erase(name);
 }
 
+void
+LocalOs::crashReset()
+{
+    while (!procs_.empty())
+        exitProcess(*procs_.begin()->second);
+    // Poison blocked readers, then retire the FIFOs to the graveyard:
+    // the woken coroutines still touch the mailbox when they resume
+    // later this tick, so the objects must outlive the crash instant.
+    for (auto &[name, fifo] : fifos_) {
+        fifo->poison("!fault:pu-crash");
+        deadFifos_.push_back(std::move(fifo));
+    }
+    fifos_.clear();
+}
+
 } // namespace molecule::os

@@ -15,6 +15,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "hw/pu.hh"
 #include "obs/trace.hh"
@@ -105,11 +106,23 @@ class LocalOs
     void removeFifo(const std::string &name);
     ///@}
 
+    /**
+     * Injected PU crash: the OS loses all volatile state. Every
+     * process is reaped (releasing its memory back to the PU) and all
+     * named FIFOs disappear. Pid allocation continues monotonically —
+     * a rebooted OS must not reuse pids that peers may still hold in
+     * XpuPid handles.
+     */
+    void crashReset();
+
   private:
     hw::ProcessingUnit &pu_;
     ContainerManager containers_;
     std::map<Pid, std::unique_ptr<Process>> procs_;
     std::map<std::string, std::unique_ptr<LocalFifo>> fifos_;
+    /** FIFOs retired by crashReset(); kept alive (not reachable by
+     * name) because poisoned readers still resume against them. */
+    std::vector<std::unique_ptr<LocalFifo>> deadFifos_;
     /** Pid allocation order is visible in results (tracked: two
      * same-tick spawns would race on it via the seq tie-break). */
     sim::analysis::Tracked<Pid> nextPid_{100, "os.nextPid"};

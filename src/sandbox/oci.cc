@@ -62,7 +62,7 @@ VectorizedSandboxRuntime::stateVector(const std::vector<std::string> &ids)
     return out;
 }
 
-sim::Task<int>
+sim::Task<core::Expected<int>>
 VectorizedSandboxRuntime::createVector(
     const std::vector<CreateRequest> &reqs)
 {
@@ -74,7 +74,7 @@ VectorizedSandboxRuntime::createVector(
         const bool created = co_await create(req);
         ok += created ? 1 : 0;
     }
-    co_return ok;
+    co_return core::Expected<int>(ok);
 }
 
 sim::Task<int>

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "core/status.hh"
 #include "obs/trace.hh"
 #include "sandbox/function_image.hh"
 #include "sim/sync.hh"
@@ -73,9 +74,12 @@ class VectorizedSandboxRuntime
 
     /**
      * Create a vector of sandboxes at once.
-     * @return number of sandboxes successfully created.
+     * @return number of sandboxes successfully created, or a typed
+     *         error when the whole vector failed as a unit (e.g. an
+     *         FPGA image that exceeds the fabric, or a reconfiguration
+     *         failure while programming it).
      */
-    virtual sim::Task<int>
+    virtual sim::Task<core::Expected<int>>
     createVector(const std::vector<CreateRequest> &reqs);
 
     /** Run a vector of sandboxes concurrently. */

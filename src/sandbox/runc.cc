@@ -243,7 +243,7 @@ RuncRuntime::destroy(const std::string &sandboxId)
     instances_.erase(sandboxId);
 }
 
-sim::Task<>
+sim::Task<core::Status>
 RuncRuntime::invoke(const std::string &sandboxId,
                     sim::SimTime hostExecCost, obs::SpanContext ctx)
 {
@@ -252,6 +252,13 @@ RuncRuntime::invoke(const std::string &sandboxId,
     Instance *inst = find(sandboxId);
     MOLECULE_ASSERT(inst != nullptr, "invoking unknown sandbox '%s'",
                     sandboxId.c_str());
+    if (inst->dead) {
+        span.setDetail("dead-on-entry");
+        co_return core::Status(inst->deathCause,
+                               "sandbox '" + sandboxId +
+                                   "' killed before execution",
+                               os_.pu().id());
+    }
     MOLECULE_ASSERT(inst->state == SandboxState::Running,
                     "invoking non-running sandbox '%s'",
                     sandboxId.c_str());
@@ -282,6 +289,56 @@ RuncRuntime::invoke(const std::string &sandboxId,
                          os_.pu().id());
         co_await os_.pu().compute(hostExecCost);
     }
+    // An injected kill may have landed while the body was executing:
+    // the CPU time is spent, the result is lost.
+    if (inst->dead) {
+        span.setDetail("killed-mid-exec");
+        co_return core::Status(inst->deathCause,
+                               "sandbox '" + sandboxId +
+                                   "' killed during execution",
+                               os_.pu().id());
+    }
+    co_return core::Status();
+}
+
+int
+RuncRuntime::oomKill(const std::string &funcId)
+{
+    int killed = 0;
+    for (auto &[id, inst] : instances_) {
+        if (inst->funcId != funcId || inst->dead)
+            continue;
+        inst->dead = true;
+        inst->deathCause = core::Errc::SandboxOomKilled;
+        inst->state = SandboxState::Stopped;
+        if (inst->proc) {
+            os_.exitProcess(*inst->proc);
+            inst->proc = nullptr;
+        }
+        // The container record is abandoned, not recycled: a killed
+        // instance's cgroup is torn down by the kernel, not reused.
+        inst->container = nullptr;
+        ++killed;
+    }
+    return killed;
+}
+
+void
+RuncRuntime::crashPurge()
+{
+    // Pointer-drop only: LocalOs::crashReset() reaps the processes and
+    // containers wholesale, so exiting them here would double-free.
+    for (auto &[id, inst] : instances_) {
+        if (!inst->dead) {
+            inst->dead = true;
+            inst->deathCause = core::Errc::PuCrashed;
+        }
+        inst->state = SandboxState::Stopped;
+        inst->proc = nullptr;
+        inst->container = nullptr;
+    }
+    templates_.clear();
+    pool_.clear();
 }
 
 Instance *

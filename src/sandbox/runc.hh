@@ -31,6 +31,7 @@
 #include <map>
 #include <memory>
 
+#include "core/status.hh"
 #include "os/kernel.hh"
 #include "sandbox/oci.hh"
 
@@ -59,6 +60,11 @@ struct Instance
     bool forked = false;
     /** First execution already paid its COW faults. */
     bool cowSettled = false;
+    /** Killed by an injected fault (OOM, PU crash). Dead instances
+     * stay in the table — in-flight invokes hold pointers to them —
+     * but proc/container are nulled (the OS reclaimed them). */
+    bool dead = false;
+    core::Errc deathCause = core::Errc::Ok;
 };
 
 /**
@@ -112,10 +118,34 @@ class RuncRuntime : public VectorizedSandboxRuntime
      * Execute one request in a running instance: first execution after
      * cfork pays COW page faults on the shared runtime region, then
      * the function body occupies a core for @p hostExecCost.
+     *
+     * @return ok, or the typed death cause when the instance was
+     *         killed by an injected fault before or during execution
+     *         (SandboxOomKilled, PuCrashed). The CPU time up to the
+     *         kill is spent either way.
      */
-    sim::Task<> invoke(const std::string &sandboxId,
-                       sim::SimTime hostExecCost,
-                       obs::SpanContext ctx = {});
+    sim::Task<core::Status> invoke(const std::string &sandboxId,
+                                   sim::SimTime hostExecCost,
+                                   obs::SpanContext ctx = {});
+
+    /** @name Fault paths */
+    ///@{
+
+    /**
+     * OOM-kill every live instance of @p funcId: state goes Stopped,
+     * the process exits (memory released), in-flight invokes return
+     * SandboxOomKilled. @return instances killed.
+     */
+    int oomKill(const std::string &funcId);
+
+    /**
+     * The PU crashed: every instance, template and pooled container
+     * dies. Instance records stay (flagged dead) for in-flight
+     * pointers; the OS-side objects are reclaimed by
+     * LocalOs::crashReset(), so only the pointers are dropped here.
+     */
+    void crashPurge();
+    ///@}
 
     Instance *find(const std::string &sandboxId);
 

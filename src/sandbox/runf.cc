@@ -24,10 +24,11 @@ sim::Task<bool>
 RunfRuntime::create(const CreateRequest &req)
 {
     std::vector<CreateRequest> one{req};
-    co_return (co_await createVector(one)) == 1;
+    const core::Expected<int> made = co_await createVector(one);
+    co_return made.ok() && made.value() == 1;
 }
 
-sim::Task<int>
+sim::Task<core::Expected<int>>
 RunfRuntime::createVector(const std::vector<CreateRequest> &reqs)
 {
     std::vector<CreateRequest> owned = reqs;
@@ -52,7 +53,9 @@ RunfRuntime::createVector(const std::vector<CreateRequest> &reqs)
         image.slots.push_back(std::move(slot));
     }
     if (!image.totalResources().fitsIn(device_.totals()))
-        co_return 0;
+        co_return core::Error(core::Errc::NoCapacity,
+                              "image exceeds fabric resources",
+                              hostOs_.pu().id());
 
     // The previous image's sandboxes are the ones "really destroyed"
     // by this create (§3.5).
@@ -64,11 +67,17 @@ RunfRuntime::createVector(const std::vector<CreateRequest> &reqs)
 
     if (options_.eraseBeforeProgram)
         co_await device_.erase(span.ctx());
-    co_await device_.program(std::move(image),
-                             options_.bitstreamCached
-                                 ? hw::ProgramMode::Cached
-                                 : hw::ProgramMode::Cold,
-                             options_.retainDram, span.ctx());
+    core::Status programmed =
+        co_await device_.program(std::move(image),
+                                 options_.bitstreamCached
+                                     ? hw::ProgramMode::Cached
+                                     : hw::ProgramMode::Cold,
+                                 options_.retainDram, span.ctx());
+    if (!programmed.ok()) {
+        // The slot is erased; previous sandboxes were already stopped
+        // above, so the device carries no usable image until a retry.
+        co_return programmed.error();
+    }
 
     for (const auto &req : owned) {
         FpgaSandbox sb;
@@ -77,7 +86,7 @@ RunfRuntime::createVector(const std::vector<CreateRequest> &reqs)
         sb.state = SandboxState::Created;
         sandboxes_[req.sandboxId] = std::move(sb);
     }
-    co_return int(owned.size());
+    co_return core::Expected<int>(int(owned.size()));
 }
 
 sim::Task<bool>

@@ -75,10 +75,11 @@ class RunfRuntime : public VectorizedSandboxRuntime
 
     /**
      * Compose one image from all requests and program it, replacing
-     * the resident image. Fails (returns 0) when the vector exceeds
-     * the fabric resources.
+     * the resident image. Typed failures: NoCapacity when the vector
+     * exceeds the fabric resources, FpgaReconfigFailed when an
+     * injected reconfiguration failure fires mid-flash.
      */
-    sim::Task<int>
+    sim::Task<core::Expected<int>>
     createVector(const std::vector<CreateRequest> &reqs) override;
 
     /** Prepare sandboxes concurrently (start vector<sandbox-id>). */

@@ -204,6 +204,11 @@ class Mailbox
 
     bool empty() const { return items_.empty(); }
 
+    /** Receivers currently blocked in get() (fault poisoning: a
+     * crashed producer pushes one sentinel per waiter so nobody
+     * hangs). */
+    std::size_t waitingGetters() const { return getters_.size(); }
+
     /** Non-blocking send. @retval false the queue was full. */
     bool
     tryPut(T item)

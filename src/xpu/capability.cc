@@ -2,26 +2,6 @@
 
 namespace molecule::xpu {
 
-const char *
-toString(XpuStatus s)
-{
-    switch (s) {
-      case XpuStatus::Ok:
-        return "ok";
-      case XpuStatus::NoPermission:
-        return "no-permission";
-      case XpuStatus::NotFound:
-        return "not-found";
-      case XpuStatus::AlreadyExists:
-        return "already-exists";
-      case XpuStatus::InvalidArgument:
-        return "invalid-argument";
-      case XpuStatus::NoMemory:
-        return "no-memory";
-    }
-    return "?";
-}
-
 void
 CapGroup::add(ObjId obj, Perm perm)
 {
@@ -120,6 +100,27 @@ CapabilityStore::lookup(XpuPid pid, ObjId obj) const
     version_.read();
     auto it = groups_.find(pid.encode());
     return it == groups_.end() ? Perm::None : it->second.lookup(obj);
+}
+
+void
+CapabilityStore::reset()
+{
+    // A PU reboot drops the replica wholesale; the id partition
+    // survives (nextLocal_ stays monotonic so reallocated ids never
+    // collide with pre-crash ones still replicated on peers).
+    version_.fetchAdd(1);
+    objects_.clear();
+    byUuid_.clear();
+    groups_.clear();
+}
+
+void
+CapabilityStore::cloneFrom(const CapabilityStore &peer)
+{
+    version_.fetchAdd(1);
+    objects_ = peer.objects_;
+    byUuid_ = peer.byUuid_;
+    groups_ = peer.groups_;
 }
 
 } // namespace molecule::xpu

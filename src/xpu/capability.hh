@@ -96,6 +96,12 @@ class CapabilityStore
 
     /** Apply a capability revoke. */
     void applyRevoke(XpuPid pid, ObjId obj, Perm perm);
+
+    /** Drop the whole replica (PU crash: reboot loses local state). */
+    void reset();
+
+    /** Re-populate from a live peer's replica (restart recovery). */
+    void cloneFrom(const CapabilityStore &peer);
     ///@}
 
     /** @name Local queries (always synchronous, §5) */

@@ -36,114 +36,119 @@ XpuClient::marshalBulk(std::uint64_t bytes)
     co_await shim_.localOs().swDelay(copy);
 }
 
-sim::Task<XpuStatus>
+sim::Task<core::Status>
 XpuClient::grantCap(XpuPid target, ObjId obj, Perm perm)
 {
     obs::Span span(ctx_, "xpu.grantCap", obs::Layer::Xpu, shim_.puId());
     co_await enterCall(32);
-    XpuStatus st = co_await shim_.grantCap(self_, target, obj, perm,
-                                           span.ctx());
+    core::Status st = co_await shim_.grantCap(self_, target, obj, perm,
+                                              span.ctx());
     co_await leaveCall(8);
     co_return st;
 }
 
-sim::Task<XpuStatus>
+sim::Task<core::Status>
 XpuClient::revokeCap(XpuPid target, ObjId obj, Perm perm)
 {
     obs::Span span(ctx_, "xpu.revokeCap", obs::Layer::Xpu, shim_.puId());
     co_await enterCall(32);
-    XpuStatus st = co_await shim_.revokeCap(self_, target, obj, perm,
-                                            span.ctx());
+    core::Status st = co_await shim_.revokeCap(self_, target, obj, perm,
+                                               span.ctx());
     co_await leaveCall(8);
     co_return st;
 }
 
-sim::Task<FdResult>
+sim::Task<core::Expected<XpuFd>>
 XpuClient::xfifoInit(const std::string &globalUuid)
 {
     std::string uuid = globalUuid;
     obs::Span span(ctx_, "xpu.xfifoInit", obs::Layer::Xpu, shim_.puId());
     co_await enterCall(32 + uuid.size());
-    FifoInitResult r = co_await shim_.xfifoInit(self_, uuid, span.ctx());
+    core::Expected<ObjId> r =
+        co_await shim_.xfifoInit(self_, uuid, span.ctx());
     co_await leaveCall(16);
-    if (r.status != XpuStatus::Ok)
-        co_return FdResult{r.status, -1};
+    if (!r.ok())
+        co_return r.error();
     const XpuFd fd = nextFd_++;
-    fds_[fd] = r.obj;
-    co_return FdResult{XpuStatus::Ok, fd};
+    fds_[fd] = r.value();
+    co_return core::Expected<XpuFd>(fd);
 }
 
-sim::Task<FdResult>
+sim::Task<core::Expected<XpuFd>>
 XpuClient::xfifoConnect(const std::string &globalUuid)
 {
     std::string uuid = globalUuid;
     obs::Span span(ctx_, "xpu.xfifoConnect", obs::Layer::Xpu,
                    shim_.puId());
     co_await enterCall(32 + uuid.size());
-    FifoInitResult r = co_await shim_.xfifoConnect(self_, uuid);
+    core::Expected<ObjId> r = co_await shim_.xfifoConnect(self_, uuid);
     co_await leaveCall(16);
-    if (r.status != XpuStatus::Ok)
-        co_return FdResult{r.status, -1};
+    if (!r.ok())
+        co_return r.error();
     const XpuFd fd = nextFd_++;
-    fds_[fd] = r.obj;
-    co_return FdResult{XpuStatus::Ok, fd};
+    fds_[fd] = r.value();
+    co_return core::Expected<XpuFd>(fd);
 }
 
-sim::Task<XpuStatus>
+sim::Task<core::Status>
 XpuClient::xfifoWrite(XpuFd fd, std::uint64_t bytes,
                       const std::string &tag)
 {
     std::string owned_tag = tag;
     auto it = fds_.find(fd);
     if (it == fds_.end())
-        co_return XpuStatus::InvalidArgument;
+        co_return core::Status(core::Errc::InvalidArgument,
+                               "unknown fd", shim_.puId());
     const ObjId obj = it->second;
     obs::Span span(ctx_, "xpu.xfifoWrite", obs::Layer::Xpu,
                    shim_.puId());
     span.setArg(std::int64_t(bytes));
     co_await marshalBulk(bytes);
     co_await enterCall(48);
-    XpuStatus st = co_await shim_.xfifoWrite(self_, obj, bytes,
-                                             owned_tag, span.ctx());
+    core::Status st = co_await shim_.xfifoWrite(self_, obj, bytes,
+                                                owned_tag, span.ctx());
     co_await leaveCall(8);
     co_return st;
 }
 
-sim::Task<ReadResult>
+sim::Task<core::Expected<os::FifoMessage>>
 XpuClient::xfifoRead(XpuFd fd)
 {
     auto it = fds_.find(fd);
     if (it == fds_.end())
-        co_return ReadResult{XpuStatus::InvalidArgument, {}};
+        co_return core::Error(core::Errc::InvalidArgument,
+                              "unknown fd", shim_.puId());
     const ObjId obj = it->second;
     obs::Span span(ctx_, "xpu.xfifoRead", obs::Layer::Xpu, shim_.puId());
     co_await enterCall(16);
-    FifoReadResult r = co_await shim_.xfifoRead(self_, obj, span.ctx());
-    if (r.status != XpuStatus::Ok)
-        co_return ReadResult{r.status, {}};
+    core::Expected<os::FifoMessage> r =
+        co_await shim_.xfifoRead(self_, obj, span.ctx());
+    if (!r.ok())
+        co_return r;
     // Unmarshal the payload out of the shared-memory result area.
-    co_await marshalBulk(r.msg.bytes);
+    co_await marshalBulk(r.value().bytes);
     co_await leaveCall(16);
-    co_return ReadResult{XpuStatus::Ok, std::move(r.msg)};
+    co_return r;
 }
 
-sim::Task<XpuStatus>
+sim::Task<core::Status>
 XpuClient::xfifoClose(XpuFd fd)
 {
     auto it = fds_.find(fd);
     if (it == fds_.end())
-        co_return XpuStatus::InvalidArgument;
+        co_return core::Status(core::Errc::InvalidArgument,
+                               "unknown fd", shim_.puId());
     const ObjId obj = it->second;
     fds_.erase(it);
     obs::Span span(ctx_, "xpu.xfifoClose", obs::Layer::Xpu,
                    shim_.puId());
     co_await enterCall(16);
-    XpuStatus st = co_await shim_.xfifoClose(self_, obj);
+    core::Status st = co_await shim_.xfifoClose(self_, obj);
     co_await leaveCall(8);
     co_return st;
 }
 
-sim::Task<SpawnCallResult>
+sim::Task<core::Expected<XpuPid>>
 XpuClient::xspawn(PuId target, const std::string &path,
                   const std::vector<CapGrant> &capv,
                   std::uint64_t memBytes)
@@ -152,11 +157,11 @@ XpuClient::xspawn(PuId target, const std::string &path,
     std::vector<CapGrant> owned_capv = capv;
     obs::Span span(ctx_, "xpu.xspawn", obs::Layer::Xpu, shim_.puId());
     co_await enterCall(64 + owned_path.size());
-    SpawnResult r = co_await shim_.xspawn(self_, target, owned_path,
-                                          owned_capv, memBytes,
-                                          span.ctx());
+    core::Expected<XpuPid> r =
+        co_await shim_.xspawn(self_, target, owned_path, owned_capv,
+                              memBytes, span.ctx());
     co_await leaveCall(16);
-    co_return SpawnCallResult{r.status, r.pid};
+    co_return r;
 }
 
 ObjId

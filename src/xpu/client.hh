@@ -19,27 +19,6 @@
 
 namespace molecule::xpu {
 
-/** fd-returning call result. */
-struct FdResult
-{
-    XpuStatus status = XpuStatus::Ok;
-    XpuFd fd = -1;
-};
-
-/** read-returning call result. */
-struct ReadResult
-{
-    XpuStatus status = XpuStatus::Ok;
-    os::FifoMessage msg;
-};
-
-/** xSpawn call result. */
-struct SpawnCallResult
-{
-    XpuStatus status = XpuStatus::Ok;
-    XpuPid pid;
-};
-
 /**
  * Per-process handle to the local shim.
  */
@@ -65,33 +44,36 @@ class XpuClient
 
     /** @name Distributed capability calls */
     ///@{
-    sim::Task<XpuStatus> grantCap(XpuPid target, ObjId obj, Perm perm);
+    sim::Task<core::Status> grantCap(XpuPid target, ObjId obj,
+                                     Perm perm);
 
-    sim::Task<XpuStatus> revokeCap(XpuPid target, ObjId obj, Perm perm);
+    sim::Task<core::Status> revokeCap(XpuPid target, ObjId obj,
+                                      Perm perm);
     ///@}
 
     /** @name Neighbor IPC (XPU-FIFO) calls */
     ///@{
 
     /** Create an XPU-FIFO homed on this PU. */
-    sim::Task<FdResult> xfifoInit(const std::string &globalUuid);
+    sim::Task<core::Expected<XpuFd>>
+    xfifoInit(const std::string &globalUuid);
 
-    sim::Task<FdResult> xfifoConnect(const std::string &globalUuid);
+    sim::Task<core::Expected<XpuFd>>
+    xfifoConnect(const std::string &globalUuid);
 
-    sim::Task<XpuStatus> xfifoWrite(XpuFd fd, std::uint64_t bytes,
-                                    const std::string &tag);
+    sim::Task<core::Status> xfifoWrite(XpuFd fd, std::uint64_t bytes,
+                                       const std::string &tag);
 
-    sim::Task<ReadResult> xfifoRead(XpuFd fd);
+    sim::Task<core::Expected<os::FifoMessage>> xfifoRead(XpuFd fd);
 
-    sim::Task<XpuStatus> xfifoClose(XpuFd fd);
+    sim::Task<core::Status> xfifoClose(XpuFd fd);
     ///@}
 
     /** Table 2 xSpawn. */
-    sim::Task<SpawnCallResult> xspawn(PuId target,
-                                      const std::string &path,
-                                      const std::vector<CapGrant> &capv,
-                                      std::uint64_t memBytes =
-                                          XpuShimNetwork::kDefaultSpawnBytes);
+    sim::Task<core::Expected<XpuPid>>
+    xspawn(PuId target, const std::string &path,
+           const std::vector<CapGrant> &capv,
+           std::uint64_t memBytes = XpuShimNetwork::kDefaultSpawnBytes);
 
     /** Distributed object behind an fd (0 when unknown). */
     ObjId objectOf(XpuFd fd) const;

@@ -93,6 +93,10 @@ XpuShim::broadcastImmediate(const SyncMessage &msg, obs::SpanContext ctx)
     for (XpuShim *peer : net_.allShims()) {
         if (peer == this)
             continue;
+        // Crashed peers drop their replica anyway; they resync from a
+        // live shim at restart instead of acking now (never hang).
+        if (net_.puDown(peer->puId()))
+            continue;
         ++syncSent_;
         deliveries.push_back(
             deliverToPeer(net_, puId(), peer->puId(), msg, span.ctx()));
@@ -128,6 +132,8 @@ XpuShim::flushLazy()
     for (XpuShim *peer : net_.allShims()) {
         if (peer == this)
             continue;
+        if (net_.puDown(peer->puId()))
+            continue;
         ++syncSent_;
         co_await net_.transfer(puId(), peer->puId(), bytes);
         for (const auto &m : batch)
@@ -135,46 +141,49 @@ XpuShim::flushLazy()
     }
 }
 
-sim::Task<XpuStatus>
+sim::Task<core::Status>
 XpuShim::grantCap(XpuPid caller, XpuPid target, ObjId obj, Perm perm,
                   obs::SpanContext ctx)
 {
     co_await handleCost();
     if (!caps_.check(caller, obj, Perm::Owner))
-        co_return XpuStatus::NoPermission;
+        co_return core::Status(core::Errc::NoPermission,
+                               "caller does not own object", puId());
     SyncMessage msg;
     msg.op = SyncOp::Grant;
     msg.pid = target;
     msg.objId = obj;
     msg.perm = perm;
     co_await broadcastImmediate(msg, ctx);
-    co_return XpuStatus::Ok;
+    co_return core::Status();
 }
 
-sim::Task<XpuStatus>
+sim::Task<core::Status>
 XpuShim::revokeCap(XpuPid caller, XpuPid target, ObjId obj, Perm perm,
                    obs::SpanContext ctx)
 {
     co_await handleCost();
     if (!caps_.check(caller, obj, Perm::Owner))
-        co_return XpuStatus::NoPermission;
+        co_return core::Status(core::Errc::NoPermission,
+                               "caller does not own object", puId());
     SyncMessage msg;
     msg.op = SyncOp::Revoke;
     msg.pid = target;
     msg.objId = obj;
     msg.perm = perm;
     co_await broadcastImmediate(msg, ctx);
-    co_return XpuStatus::Ok;
+    co_return core::Status();
 }
 
-sim::Task<FifoInitResult>
+sim::Task<core::Expected<ObjId>>
 XpuShim::xfifoInit(XpuPid caller, const std::string &globalUuid,
                    obs::SpanContext ctx)
 {
     std::string uuid = globalUuid;
     co_await handleCost();
     if (caps_.findByUuid(uuid) != nullptr)
-        co_return FifoInitResult{XpuStatus::AlreadyExists, 0};
+        co_return core::Error(core::Errc::AlreadyExists,
+                              "fifo uuid '" + uuid + "' taken", puId());
 
     DistributedObject obj;
     obj.id = caps_.allocateId();
@@ -194,27 +203,30 @@ XpuShim::xfifoInit(XpuPid caller, const std::string &globalUuid,
     // Global UUID uniqueness requires every shim to learn about the
     // fifo before init returns (§5 "Immediate synchronization").
     co_await broadcastImmediate(msg, ctx);
-    co_return FifoInitResult{XpuStatus::Ok, obj.id};
+    co_return core::Expected<ObjId>(obj.id);
 }
 
-sim::Task<FifoInitResult>
+sim::Task<core::Expected<ObjId>>
 XpuShim::xfifoConnect(XpuPid caller, const std::string &globalUuid)
 {
     std::string uuid = globalUuid;
     co_await handleCost();
     const DistributedObject *obj = caps_.findByUuid(uuid);
     if (!obj)
-        co_return FifoInitResult{XpuStatus::NotFound, 0};
+        co_return core::Error(core::Errc::NotFound,
+                              "no fifo with uuid '" + uuid + "'",
+                              puId());
     // Connect requires read or write permission (§3.2).
     if (!caps_.check(caller, obj->id, Perm::Read) &&
         !caps_.check(caller, obj->id, Perm::Write)) {
-        co_return FifoInitResult{XpuStatus::NoPermission, 0};
+        co_return core::Error(core::Errc::NoPermission,
+                              "connect needs read or write", puId());
     }
     const ObjId id = obj->id;
     XpuShim &home = net_.shimOn(obj->homePu);
     if (auto *homed = home.findHomed(id))
         ++homed->refCount;
-    co_return FifoInitResult{XpuStatus::Ok, id};
+    co_return core::Expected<ObjId>(id);
 }
 
 XpuShim::HomedFifo *
@@ -224,63 +236,78 @@ XpuShim::findHomed(ObjId obj)
     return it == queues_.end() ? nullptr : &it->second;
 }
 
-sim::Task<XpuStatus>
+sim::Task<core::Status>
 XpuShim::deliverLocal(ObjId obj, std::uint64_t bytes,
                       const std::string &tag)
 {
     HomedFifo *homed = findHomed(obj);
     if (!homed)
-        co_return XpuStatus::NotFound;
+        co_return core::Status(core::Errc::NotFound,
+                               "fifo not homed here", puId());
     os::FifoMessage msg{bytes, tag};
     co_await homed->queue->put(std::move(msg));
-    co_return XpuStatus::Ok;
+    co_return core::Status();
 }
 
-sim::Task<FifoReadResult>
+sim::Task<core::Expected<os::FifoMessage>>
 XpuShim::consumeLocal(ObjId obj)
 {
     HomedFifo *homed = findHomed(obj);
     if (!homed)
-        co_return FifoReadResult{XpuStatus::NotFound, {}};
+        co_return core::Error(core::Errc::NotFound,
+                              "fifo not homed here", puId());
     os::FifoMessage msg = co_await homed->queue->get();
-    co_return FifoReadResult{XpuStatus::Ok, std::move(msg)};
+    // A "!"-tagged message is a fault sentinel, not payload: the home
+    // PU crashed while this read was pending.
+    if (!msg.tag.empty() && msg.tag.front() == '!')
+        co_return core::Error(core::Errc::PuCrashed,
+                              "read failed: " + msg.tag, puId());
+    co_return core::Expected<os::FifoMessage>(std::move(msg));
 }
 
-sim::Task<XpuStatus>
+sim::Task<core::Status>
 XpuShim::xfifoWrite(XpuPid caller, ObjId obj, std::uint64_t bytes,
                     const std::string &tag, obs::SpanContext ctx)
 {
     std::string owned_tag = tag;
     co_await handleCost();
     if (!caps_.check(caller, obj, Perm::Write))
-        co_return XpuStatus::NoPermission;
+        co_return core::Status(core::Errc::NoPermission,
+                               "no write capability", puId());
     const DistributedObject *o = caps_.findObject(obj);
     if (!o)
-        co_return XpuStatus::NotFound;
+        co_return core::Status(core::Errc::NotFound,
+                               "unknown object", puId());
 
     if (o->homePu == puId()) {
         co_return co_await deliverLocal(obj, bytes, owned_tag);
     }
+    const PuId home = o->homePu;
+    if (net_.puDown(home))
+        co_return core::Status(core::Errc::PuCrashed,
+                               "fifo home PU is down", home);
     // nIPC: payload + header cross the interconnect to the home shim,
     // which enqueues after its own handling; a small ack comes back.
-    const PuId home = o->homePu;
     co_await net_.transfer(puId(), home, bytes + 48, ctx);
     XpuShim &homeShim = net_.shimOn(home);
     co_await homeShim.handleCost();
-    XpuStatus st = co_await homeShim.deliverLocal(obj, bytes, owned_tag);
+    core::Status st = co_await homeShim.deliverLocal(obj, bytes,
+                                                     owned_tag);
     co_await net_.transfer(home, puId(), 16, ctx);
     co_return st;
 }
 
-sim::Task<FifoReadResult>
+sim::Task<core::Expected<os::FifoMessage>>
 XpuShim::xfifoRead(XpuPid caller, ObjId obj, obs::SpanContext ctx)
 {
     co_await handleCost();
     if (!caps_.check(caller, obj, Perm::Read))
-        co_return FifoReadResult{XpuStatus::NoPermission, {}};
+        co_return core::Error(core::Errc::NoPermission,
+                              "no read capability", puId());
     const DistributedObject *o = caps_.findObject(obj);
     if (!o)
-        co_return FifoReadResult{XpuStatus::NotFound, {}};
+        co_return core::Error(core::Errc::NotFound, "unknown object",
+                              puId());
 
     if (o->homePu == puId()) {
         co_return co_await consumeLocal(obj);
@@ -288,24 +315,32 @@ XpuShim::xfifoRead(XpuPid caller, ObjId obj, obs::SpanContext ctx)
     // Remote read: ask the home shim, block there, payload rides the
     // return hop.
     const PuId home = o->homePu;
+    if (net_.puDown(home))
+        co_return core::Error(core::Errc::PuCrashed,
+                              "fifo home PU is down", home);
     co_await net_.transfer(puId(), home, 48, ctx);
     XpuShim &homeShim = net_.shimOn(home);
     co_await homeShim.handleCost();
-    FifoReadResult r = co_await homeShim.consumeLocal(obj);
-    co_await net_.transfer(home, puId(), r.msg.bytes + 16, ctx);
+    core::Expected<os::FifoMessage> r =
+        co_await homeShim.consumeLocal(obj);
+    if (!r.ok())
+        co_return r;
+    co_await net_.transfer(home, puId(), r.value().bytes + 16, ctx);
     co_return r;
 }
 
-sim::Task<XpuStatus>
+sim::Task<core::Status>
 XpuShim::xfifoClose(XpuPid caller, ObjId obj)
 {
     co_await handleCost();
     const DistributedObject *o = caps_.findObject(obj);
     if (!o)
-        co_return XpuStatus::NotFound;
+        co_return core::Status(core::Errc::NotFound, "unknown object",
+                               puId());
     if (!caps_.check(caller, obj, Perm::Read) &&
         !caps_.check(caller, obj, Perm::Write)) {
-        co_return XpuStatus::NoPermission;
+        co_return core::Status(core::Errc::NoPermission,
+                               "close needs read or write", puId());
     }
     XpuShim &home = net_.shimOn(o->homePu);
     HomedFifo *homed = home.findHomed(obj);
@@ -318,10 +353,10 @@ XpuShim::xfifoClose(XpuPid caller, ObjId obj)
         msg.objId = obj;
         co_await home.enqueueLazy(msg);
     }
-    co_return XpuStatus::Ok;
+    co_return core::Status();
 }
 
-sim::Task<SpawnResult>
+sim::Task<core::Expected<XpuPid>>
 XpuShim::xspawn(XpuPid caller, PuId target, const std::string &path,
                 const std::vector<CapGrant> &capv,
                 std::uint64_t memBytes, obs::SpanContext ctx)
@@ -331,7 +366,11 @@ XpuShim::xspawn(XpuPid caller, PuId target, const std::string &path,
     std::vector<CapGrant> owned_capv = capv;
     co_await handleCost();
     if (!net_.hasShim(target))
-        co_return SpawnResult{XpuStatus::NotFound, {}};
+        co_return core::Error(core::Errc::NotFound,
+                              "no shim on target PU", target);
+    if (net_.puDown(target))
+        co_return core::Error(core::Errc::PuCrashed,
+                              "target PU is down", target);
 
     XpuShim &remote = net_.shimOn(target);
     const bool local = target == puId();
@@ -345,7 +384,8 @@ XpuShim::xspawn(XpuPid caller, PuId target, const std::string &path,
     if (!proc) {
         if (!local)
             co_await net_.transfer(target, puId(), 16, ctx);
-        co_return SpawnResult{XpuStatus::NoMemory, {}};
+        co_return core::Error(core::Errc::NoMemory,
+                              "spawn exceeds PU memory", target);
     }
     const XpuPid child{target, proc->pid()};
 
@@ -365,7 +405,30 @@ XpuShim::xspawn(XpuPid caller, PuId target, const std::string &path,
 
     if (!local)
         co_await net_.transfer(target, puId(), 24, ctx);
-    co_return SpawnResult{XpuStatus::Ok, child};
+    co_return core::Expected<XpuPid>(child);
+}
+
+void
+XpuShim::crashLocal()
+{
+    // Wake every blocked getter with a fault sentinel, then retire the
+    // queue to the graveyard: woken coroutines resume strictly later
+    // in the tick and still touch the mailbox.
+    for (auto &[id, homed] : queues_) {
+        const std::size_t waiting = homed.queue->waitingGetters();
+        for (std::size_t i = 0; i < waiting; ++i)
+            homed.queue->tryPut(os::FifoMessage{0, "!fault:pu-crash"});
+        deadQueues_.push_back(std::move(homed.queue));
+    }
+    queues_.clear();
+    lazyQueue_.clear();
+    caps_.reset();
+}
+
+void
+XpuShim::resyncFrom(XpuShim &peer)
+{
+    caps_.cloneFrom(peer.caps());
 }
 
 XpuShim *

@@ -28,6 +28,8 @@
 #include <string>
 #include <vector>
 
+#include "core/status.hh"
+#include "fault/state.hh"
 #include "hw/computer.hh"
 #include "obs/trace.hh"
 #include "os/fifo.hh"
@@ -45,25 +47,6 @@ struct CapGrant
 {
     ObjId obj = 0;
     Perm perm = Perm::None;
-};
-
-/** Result structs for fd- and pid-returning XPUcalls. */
-struct FifoInitResult
-{
-    XpuStatus status = XpuStatus::Ok;
-    ObjId obj = 0;
-};
-
-struct FifoReadResult
-{
-    XpuStatus status = XpuStatus::Ok;
-    os::FifoMessage msg;
-};
-
-struct SpawnResult
-{
-    XpuStatus status = XpuStatus::Ok;
-    XpuPid pid;
 };
 
 /**
@@ -105,49 +88,65 @@ class XpuShim
     /** @name XPUcall backends (Table 2), invoked via XpuClient. */
     ///@{
 
-    sim::Task<XpuStatus> grantCap(XpuPid caller, XpuPid target,
-                                  ObjId obj, Perm perm,
-                                  obs::SpanContext ctx = {});
+    sim::Task<core::Status> grantCap(XpuPid caller, XpuPid target,
+                                     ObjId obj, Perm perm,
+                                     obs::SpanContext ctx = {});
 
-    sim::Task<XpuStatus> revokeCap(XpuPid caller, XpuPid target,
-                                   ObjId obj, Perm perm,
-                                   obs::SpanContext ctx = {});
+    sim::Task<core::Status> revokeCap(XpuPid caller, XpuPid target,
+                                      ObjId obj, Perm perm,
+                                      obs::SpanContext ctx = {});
 
     /**
      * Create an XPU-FIFO homed on this PU. The global UUID must be
      * unique computer-wide, which is why this call synchronizes
      * immediately with every peer shim.
      */
-    sim::Task<FifoInitResult> xfifoInit(XpuPid caller,
-                                        const std::string &globalUuid,
-                                        obs::SpanContext ctx = {});
+    sim::Task<core::Expected<ObjId>>
+    xfifoInit(XpuPid caller, const std::string &globalUuid,
+              obs::SpanContext ctx = {});
 
     /** Connect to an XPU-FIFO by global UUID (needs Read or Write). */
-    sim::Task<FifoInitResult> xfifoConnect(XpuPid caller,
-                                           const std::string &globalUuid);
+    sim::Task<core::Expected<ObjId>>
+    xfifoConnect(XpuPid caller, const std::string &globalUuid);
 
     /** Write @p bytes (payload rides shared memory / the wire). */
-    sim::Task<XpuStatus> xfifoWrite(XpuPid caller, ObjId obj,
-                                    std::uint64_t bytes,
-                                    const std::string &tag,
-                                    obs::SpanContext ctx = {});
+    sim::Task<core::Status> xfifoWrite(XpuPid caller, ObjId obj,
+                                       std::uint64_t bytes,
+                                       const std::string &tag,
+                                       obs::SpanContext ctx = {});
 
-    /** Blocking read from an XPU-FIFO. */
-    sim::Task<FifoReadResult> xfifoRead(XpuPid caller, ObjId obj,
-                                        obs::SpanContext ctx = {});
+    /** Blocking read from an XPU-FIFO. Fails typed — never hangs —
+     * when the fifo's home PU crashes while the read is pending. */
+    sim::Task<core::Expected<os::FifoMessage>>
+    xfifoRead(XpuPid caller, ObjId obj, obs::SpanContext ctx = {});
 
     /** Drop one reference; reclamation syncs lazily. */
-    sim::Task<XpuStatus> xfifoClose(XpuPid caller, ObjId obj);
+    sim::Task<core::Status> xfifoClose(XpuPid caller, ObjId obj);
 
     /**
      * Spawn @p path on PU @p target, granting @p capv to the child
      * (no permissions are inherited implicitly, §3.4).
      */
-    sim::Task<SpawnResult> xspawn(XpuPid caller, PuId target,
-                                  const std::string &path,
-                                  const std::vector<CapGrant> &capv,
-                                  std::uint64_t memBytes,
-                                  obs::SpanContext ctx = {});
+    sim::Task<core::Expected<XpuPid>>
+    xspawn(XpuPid caller, PuId target, const std::string &path,
+           const std::vector<CapGrant> &capv, std::uint64_t memBytes,
+           obs::SpanContext ctx = {});
+    ///@}
+
+    /** @name Crash & restart recovery */
+    ///@{
+
+    /**
+     * The PU hosting this shim crashed: fail every pending blocking
+     * read with a typed error (the backing queues are poisoned and
+     * retired, never destroyed under a suspended getter), drop the
+     * lazy queue and reset the capability replica — a reboot loses
+     * all local OS state (§3.2).
+     */
+    void crashLocal();
+
+    /** Rebuild the capability replica from a live peer (restart). */
+    void resyncFrom(XpuShim &peer);
     ///@}
 
     /** @name Inter-shim plumbing */
@@ -189,11 +188,11 @@ class XpuShim
     };
 
     /** Deliver a write into a fifo homed here (charges handling). */
-    sim::Task<XpuStatus> deliverLocal(ObjId obj, std::uint64_t bytes,
-                                      const std::string &tag);
+    sim::Task<core::Status> deliverLocal(ObjId obj, std::uint64_t bytes,
+                                         const std::string &tag);
 
     /** Blocking pop from a fifo homed here. */
-    sim::Task<FifoReadResult> consumeLocal(ObjId obj);
+    sim::Task<core::Expected<os::FifoMessage>> consumeLocal(ObjId obj);
 
     HomedFifo *findHomed(ObjId obj);
 
@@ -207,6 +206,11 @@ class XpuShim
     std::unique_ptr<sim::Semaphore> handlerSlots_;
     CapabilityStore caps_;
     std::map<ObjId, HomedFifo> queues_;
+    /** Poisoned queues retired at crash: suspended getters woken by
+     * the poison still touch the mailbox when they resume, so it must
+     * outlive the crash instant. */
+    std::vector<std::unique_ptr<sim::Mailbox<os::FifoMessage>>>
+        deadQueues_;
     std::vector<SyncMessage> lazyQueue_;
     /** Tracked: a same-tick enqueue/flush pair changes which batch a
      * lazy update rides in, decided only by the event tie-break. */
@@ -245,6 +249,18 @@ class XpuShimNetwork
 
     std::vector<XpuShim *> allShims();
 
+    /** Wire the fault state in (nullptr = fault-free, the default). */
+    void attachFaults(const fault::FaultState *faults)
+    {
+        faults_ = faults;
+    }
+
+    /** True when @p pu is currently crashed (always false unfaulted). */
+    bool puDown(PuId pu) const
+    {
+        return faults_ != nullptr && !faults_->puUp(pu);
+    }
+
     /** Register the behavior behind an xSpawn'able program path. */
     void registerProgram(const std::string &path, ProgramHook hook);
 
@@ -263,6 +279,7 @@ class XpuShimNetwork
 
   private:
     hw::Computer &computer_;
+    const fault::FaultState *faults_ = nullptr;
     std::map<PuId, std::unique_ptr<XpuShim>> shims_;
     std::map<std::string, ProgramHook> programs_;
 };

@@ -1,6 +1,7 @@
 /**
  * @file
- * Identifiers and status codes of the XPU-Shim layer (§3).
+ * Identifiers of the XPU-Shim layer (§3). XPUcall outcomes are typed
+ * with core::Status / core::Expected (core/status.hh).
  */
 
 #ifndef MOLECULE_XPU_TYPES_HH
@@ -92,18 +93,6 @@ hasPerm(Perm have, Perm need)
     return (std::uint32_t(have) & std::uint32_t(need)) ==
            std::uint32_t(need);
 }
-
-/** Result of an XPUcall. */
-enum class XpuStatus {
-    Ok,
-    NoPermission,
-    NotFound,
-    AlreadyExists,
-    InvalidArgument,
-    NoMemory,
-};
-
-const char *toString(XpuStatus s);
 
 } // namespace molecule::xpu
 

@@ -11,7 +11,6 @@ namespace {
 
 using molecule::core::ChainSpec;
 using molecule::core::DagCommMode;
-using molecule::core::InvocationRecord;
 using molecule::core::Molecule;
 using molecule::core::MoleculeOptions;
 using molecule::hw::buildCpuDpuServer;
@@ -47,13 +46,13 @@ struct MoleculeFixture : ::testing::Test
 TEST_F(MoleculeFixture, ColdThenWarmInvocation)
 {
     makeRuntime(MoleculeOptions{});
-    auto cold = runtime->invokeSync("helloworld", 0);
+    auto cold = runtime->invokeSync("helloworld", 0).value();
     EXPECT_TRUE(cold.coldStart);
     // cfork on the host CPU: low double-digit milliseconds.
     EXPECT_GT(cold.startup.toMilliseconds(), 5.0);
     EXPECT_LT(cold.startup.toMilliseconds(), 25.0);
 
-    auto warm = runtime->invokeSync("helloworld", 0);
+    auto warm = runtime->invokeSync("helloworld", 0).value();
     EXPECT_FALSE(warm.coldStart);
     EXPECT_LT(warm.startup.toMilliseconds(), 0.1);
     EXPECT_LT(warm.endToEnd, cold.endToEnd);
@@ -63,7 +62,7 @@ TEST_F(MoleculeFixture, ColdThenWarmInvocation)
 TEST_F(MoleculeFixture, HomoBaselineColdStartIsSlower)
 {
     makeRuntime(MoleculeOptions::homo());
-    auto cold = runtime->invokeSync("helloworld", 0);
+    auto cold = runtime->invokeSync("helloworld", 0).value();
     EXPECT_TRUE(cold.coldStart);
     // Full container + interpreter boot: >100 ms on the server CPU.
     EXPECT_GT(cold.startup.toMilliseconds(), 100.0);
@@ -72,7 +71,7 @@ TEST_F(MoleculeFixture, HomoBaselineColdStartIsSlower)
 TEST_F(MoleculeFixture, CforkIsRoughly10xOverBaseline)
 {
     makeRuntime(MoleculeOptions{});
-    auto mol = runtime->invokeSync("image-resize", 0);
+    auto mol = runtime->invokeSync("image-resize", 0).value();
 
     Simulation sim2;
     auto computer2 = buildCpuDpuServer(sim2, 2, DpuGeneration::Bf1);
@@ -80,7 +79,7 @@ TEST_F(MoleculeFixture, CforkIsRoughly10xOverBaseline)
     homo.registerCpuFunction("image-resize",
                              {PuType::HostCpu, PuType::Dpu});
     homo.start();
-    auto base = homo.invokeSync("image-resize", 0);
+    auto base = homo.invokeSync("image-resize", 0).value();
 
     EXPECT_GT(base.startup.toMilliseconds() /
                   mol.startup.toMilliseconds(),
@@ -93,8 +92,8 @@ TEST_F(MoleculeFixture, RemoteStartAddsSmallNipcCost)
     // Same function cold-started locally vs on the DPU: the remote
     // path adds the executor command round-trip (~1-3 ms at DPU
     // speed), on top of the DPU's slower cfork.
-    auto local = runtime->invokeSync("helloworld", 0);
-    auto remote = runtime->invokeSync("helloworld", 1);
+    auto local = runtime->invokeSync("helloworld", 0).value();
+    auto remote = runtime->invokeSync("helloworld", 1).value();
     EXPECT_TRUE(remote.coldStart);
     EXPECT_GT(remote.startup, local.startup);
     // DPU cfork ~= 6.5x the CPU one + a few ms of command round-trip.
@@ -105,7 +104,7 @@ TEST_F(MoleculeFixture, RemoteStartAddsSmallNipcCost)
 TEST_F(MoleculeFixture, SchedulerPrefersCheaperDpu)
 {
     makeRuntime(MoleculeOptions{});
-    auto rec = runtime->invokeSync("helloworld");
+    auto rec = runtime->invokeSync("helloworld").value();
     // DPU profiles are priced lower, so the scheduler picks a DPU.
     EXPECT_EQ(computer->pu(rec.pu).type(), PuType::Dpu);
 }
@@ -114,7 +113,7 @@ TEST_F(MoleculeFixture, ChainRunsOnSinglePuByAffinity)
 {
     makeRuntime(MoleculeOptions{});
     auto spec = ChainSpec::linear("alexa", Catalog::alexaChain());
-    auto rec = runtime->invokeChainSync(spec);
+    auto rec = runtime->invokeChainSync(spec).value();
     ASSERT_EQ(rec.invocations.size(), 5u);
     const int pu0 = rec.invocations[0].pu;
     for (const auto &inv : rec.invocations)
@@ -127,7 +126,7 @@ TEST_F(MoleculeFixture, IpcChainBeatsHttpChain)
     makeRuntime(MoleculeOptions{});
     auto spec = ChainSpec::linear("alexa", Catalog::alexaChain());
     std::vector<int> onCpu(5, 0);
-    auto ipc = runtime->invokeChainSync(spec, onCpu);
+    auto ipc = runtime->invokeChainSync(spec, onCpu).value();
 
     Simulation sim2;
     auto computer2 = buildCpuDpuServer(sim2, 2, DpuGeneration::Bf1);
@@ -135,7 +134,7 @@ TEST_F(MoleculeFixture, IpcChainBeatsHttpChain)
     for (const auto &fn : Catalog::alexaChain())
         homo.registerCpuFunction(fn, {PuType::HostCpu});
     homo.start();
-    auto http = homo.invokeChainSync(spec, onCpu);
+    auto http = homo.invokeChainSync(spec, onCpu).value();
 
     // Fig 14-e: 2.04-2.47x less end-to-end latency for Alexa.
     const double ratio = http.endToEnd.toMilliseconds() /
@@ -158,7 +157,7 @@ TEST_F(MoleculeFixture, CrossPuChainUsesNipc)
     auto spec = ChainSpec::linear("alexa", Catalog::alexaChain());
     // Alternate CPU/DPU so every edge crosses PUs (Fig 14-e CrossPU).
     std::vector<int> cross{0, 1, 0, 1, 0};
-    auto rec = runtime->invokeChainSync(spec, cross);
+    auto rec = runtime->invokeChainSync(spec, cross).value();
     ASSERT_EQ(rec.edgeLatencies.size(), 4u);
     for (const auto &edge : rec.edgeLatencies) {
         // nIPC edges stay sub-millisecond (Fig 12-c/d Molecule bars).
@@ -173,7 +172,7 @@ TEST_F(MoleculeFixture, KeepAliveCachesAndEvicts)
     options.startup.warmCapacity = 2;
     makeRuntime(options);
     for (int i = 0; i < 5; ++i)
-        runtime->invokeSync("helloworld", 0);
+        ASSERT_TRUE(runtime->invokeSync("helloworld", 0).ok());
     EXPECT_LE(runtime->startup().warmCount("helloworld", 0), 2u);
     EXPECT_EQ(runtime->startup().coldStarts(), 1);
 }
@@ -187,12 +186,12 @@ TEST(MoleculeFpga, InvokeColdAndWarm)
     runtime.registerFpgaFunction("fpga-madd");
     runtime.start();
 
-    auto cold = runtime.invokeFpgaSync("fpga-vmult", 0, 1);
+    auto cold = runtime.invokeFpgaSync("fpga-vmult", 0, 1).value();
     EXPECT_TRUE(cold.coldStart);
     // Cold FPGA start: program + sandbox prep, seconds.
     EXPECT_GT(cold.startup.toSeconds(), 1.0);
 
-    auto warm = runtime.invokeFpgaSync("fpga-vmult", 0, 1);
+    auto warm = runtime.invokeFpgaSync("fpga-vmult", 0, 1).value();
     EXPECT_FALSE(warm.coldStart);
     EXPECT_LT(warm.startup.toMilliseconds(), 1.0);
     // Warm execution ~= kernel + invoke overheads.
@@ -211,12 +210,12 @@ TEST(MoleculeFpga, HotSetKeepsSiblingsCached)
 
     runtime.startup().setFpgaHotSet(
         0, {"fpga-vmult", "fpga-madd", "fpga-mscale"});
-    auto first = runtime.invokeFpgaSync("fpga-vmult", 0, 1);
+    auto first = runtime.invokeFpgaSync("fpga-vmult", 0, 1).value();
     EXPECT_TRUE(first.coldStart);
     // Siblings were packed into the same image: warm for them too.
-    auto second = runtime.invokeFpgaSync("fpga-madd", 0, 1);
+    auto second = runtime.invokeFpgaSync("fpga-madd", 0, 1).value();
     EXPECT_FALSE(second.coldStart);
-    auto third = runtime.invokeFpgaSync("fpga-mscale", 0, 1);
+    auto third = runtime.invokeFpgaSync("fpga-mscale", 0, 1).value();
     EXPECT_FALSE(third.coldStart);
     EXPECT_EQ(computer->fpga(0).programCount(), 1);
 }

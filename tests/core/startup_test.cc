@@ -81,12 +81,12 @@ TEST(Startup, FpgaHotSetRecomposesOnMiss)
     runtime.start();
 
     runtime.startup().setFpgaHotSet(0, {"fpga-gzip"});
-    auto first = runtime.invokeFpgaSync("fpga-gzip", 0, 1024);
+    auto first = runtime.invokeFpgaSync("fpga-gzip", 0, 1024).value();
     EXPECT_TRUE(first.coldStart);
     EXPECT_EQ(computer->fpga(0).programCount(), 1);
 
     // A miss on fpga-aml recomposes: hot set + the missed function.
-    auto second = runtime.invokeFpgaSync("fpga-aml", 0, 6000);
+    auto second = runtime.invokeFpgaSync("fpga-aml", 0, 6000).value();
     EXPECT_TRUE(second.coldStart);
     EXPECT_EQ(computer->fpga(0).programCount(), 2);
     EXPECT_TRUE(runtime.deployment().runf(0).cached("fpga-gzip"));
@@ -101,19 +101,19 @@ TEST(Startup, GpuPathColdAndWarm)
     runtime.registerGpuFunction("gnn-train-step", 4_ms, 2 << 20);
     runtime.start();
 
-    auto cold = runtime.invokeGpuSync("gnn-train-step", 0);
+    auto cold = runtime.invokeGpuSync("gnn-train-step", 0).value();
     EXPECT_TRUE(cold.coldStart);
     // Context creation + module load dominate the cold start.
     EXPECT_GT(cold.startup.toMilliseconds(), 200.0);
     EXPECT_GT(cold.execution.toMilliseconds(), 4.0);
 
-    auto warm = runtime.invokeGpuSync("gnn-train-step", 0);
+    auto warm = runtime.invokeGpuSync("gnn-train-step", 0).value();
     EXPECT_FALSE(warm.coldStart);
     EXPECT_LT(warm.startup.toMilliseconds(), 0.1);
     // MPS keeps many modules resident: a second function does not
     // re-create the context.
     runtime.registerGpuFunction("gnn-agg", 1_ms);
-    auto other = runtime.invokeGpuSync("gnn-agg", 0);
+    auto other = runtime.invokeGpuSync("gnn-agg", 0).value();
     EXPECT_TRUE(other.coldStart);
     EXPECT_LT(other.startup.toMilliseconds(), 50.0);
 }

@@ -59,16 +59,16 @@ scenarioFingerprint(bool traced, std::string *jsonOut = nullptr)
     runtime.start();
 
     std::vector<std::int64_t> fp;
-    auto record = [&fp](const core::InvocationRecord &rec) {
+    auto record = [&fp](const obs::InvocationRecord &rec) {
         fp.push_back(rec.startup.raw());
         fp.push_back(rec.communication.raw());
         fp.push_back(rec.execution.raw());
         fp.push_back(rec.endToEnd.raw());
         fp.push_back(rec.coldStart ? 1 : 0);
     };
-    record(runtime.invokeSync("image-resize", 0)); // cold
-    record(runtime.invokeSync("image-resize", 0)); // warm
-    record(runtime.invokeSync("helloworld", 1));   // cold, remote PU
+    record(runtime.invokeSync("image-resize", 0).value()); // cold
+    record(runtime.invokeSync("image-resize", 0).value()); // warm
+    record(runtime.invokeSync("helloworld", 1).value());   // cold, remote PU
 
 #if MOLECULE_TRACING
     if (traced && jsonOut != nullptr)

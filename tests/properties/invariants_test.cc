@@ -27,9 +27,9 @@ using core::KeepAlivePolicy;
 using core::Molecule;
 using core::MoleculeOptions;
 using hw::PuType;
+using core::Errc;
 using xpu::Perm;
 using xpu::TransportKind;
-using xpu::XpuStatus;
 
 // ---------------------------------------------------------------------
 // Capability security, parameterized over granted permission sets.
@@ -77,49 +77,50 @@ TEST_P(CapabilitySecurity, OperationsMatchGrantedBits)
     const Perm granted = GetParam();
     World w;
 
-    xpu::FdResult fifo;
-    XpuStatus writeStatus{}, readStatus{};
-    auto scenario = [](World *world, Perm perm, xpu::FdResult *f,
-                       XpuStatus *ws, XpuStatus *rs) -> sim::Task<> {
-        *f = co_await world->ownerClient->xfifoInit("guarded");
-        const auto obj = world->ownerClient->objectOf(f->fd);
+    core::Status writeStatus, readStatus;
+    auto scenario = [](World *world, Perm perm, core::Status *ws,
+                       core::Status *rs) -> sim::Task<> {
+        auto f = co_await world->ownerClient->xfifoInit("guarded");
+        const auto obj = world->ownerClient->objectOf(f.value());
         if (perm != Perm::None) {
             (void)co_await world->ownerClient->grantCap(
                 world->otherClient->xpuPid(), obj, perm);
         }
         auto ofd = co_await world->otherClient->xfifoConnect("guarded");
-        if (ofd.status != XpuStatus::Ok) {
-            *ws = ofd.status;
-            *rs = ofd.status;
+        if (!ofd.ok()) {
+            *ws = ofd.status();
+            *rs = ofd.status();
             co_return;
         }
-        *ws = co_await world->otherClient->xfifoWrite(ofd.fd, 64, "m");
-        if (*ws == XpuStatus::Ok) {
+        *ws = co_await world->otherClient->xfifoWrite(ofd.value(), 64,
+                                                      "m");
+        if (ws->ok()) {
             // Drain so a read check can't block forever.
-            auto r = co_await world->ownerClient->xfifoRead(f->fd);
-            EXPECT_EQ(r.status, XpuStatus::Ok);
+            auto r = co_await world->ownerClient->xfifoRead(f.value());
+            EXPECT_TRUE(r.ok());
         }
         // Read permission check (non-blocking expectation: only test
         // the denial path; permitted reads would block on empty).
         if (!hasPerm(perm, Perm::Read)) {
-            auto r = co_await world->otherClient->xfifoRead(ofd.fd);
-            *rs = r.status;
+            auto r =
+                co_await world->otherClient->xfifoRead(ofd.value());
+            *rs = r.status();
         } else {
-            *rs = XpuStatus::Ok;
+            *rs = core::Status();
         }
     };
-    w.sim.spawn(scenario(&w, granted, &fifo, &writeStatus, &readStatus));
+    w.sim.spawn(scenario(&w, granted, &writeStatus, &readStatus));
     w.sim.run();
 
     if (granted == Perm::None) {
-        EXPECT_EQ(writeStatus, XpuStatus::NoPermission);
+        EXPECT_EQ(writeStatus.code(), Errc::NoPermission);
     } else if (hasPerm(granted, Perm::Write)) {
-        EXPECT_EQ(writeStatus, XpuStatus::Ok);
+        EXPECT_TRUE(writeStatus.ok()) << writeStatus.toString();
     } else {
-        EXPECT_EQ(writeStatus, XpuStatus::NoPermission);
+        EXPECT_EQ(writeStatus.code(), Errc::NoPermission);
     }
     if (!hasPerm(granted, Perm::Read) && granted != Perm::None) {
-        EXPECT_EQ(readStatus, XpuStatus::NoPermission);
+        EXPECT_EQ(readStatus.code(), Errc::NoPermission);
     }
 }
 
@@ -205,15 +206,16 @@ TEST(FifoOrdering, CrossPuMessagesArriveInWriteOrder)
                        std::vector<std::string> *out) -> sim::Task<> {
         auto fd = co_await rd->xfifoInit("ordered");
         (void)co_await rd->grantCap(wr->xpuPid(),
-                                    rd->objectOf(fd.fd), Perm::Write);
+                                    rd->objectOf(fd.value()),
+                                    Perm::Write);
         auto wfd = co_await wr->xfifoConnect("ordered");
         for (int i = 0; i < 8; ++i) {
             std::string tag = "msg" + std::to_string(i);
-            (void)co_await wr->xfifoWrite(wfd.fd, 64, tag);
+            (void)co_await wr->xfifoWrite(wfd.value(), 64, tag);
         }
         for (int i = 0; i < 8; ++i) {
-            auto msg = co_await rd->xfifoRead(fd.fd);
-            out->push_back(msg.msg.tag);
+            auto msg = co_await rd->xfifoRead(fd.value());
+            out->push_back(msg.value().tag);
         }
     };
     sim.spawn(scenario(&reader, &writer, &received));

@@ -72,11 +72,12 @@ class NipcSweep : public ::testing::TestWithParam<NipcCase>
                       std::uint64_t sz, sim::Simulation *s,
                       sim::SimTime *lat) -> sim::Task<> {
             auto fd = co_await r->xfifoInit("sweep");
-            (void)co_await r->grantCap(w->xpuPid(), r->objectOf(fd.fd),
+            (void)co_await r->grantCap(w->xpuPid(),
+                                       r->objectOf(fd.value()),
                                        xpu::Perm::Write);
             auto wfd = co_await w->xfifoConnect("sweep");
             const auto t0 = s->now();
-            (void)co_await w->xfifoWrite(wfd.fd, sz, "m");
+            (void)co_await w->xfifoWrite(wfd.value(), sz, "m");
             *lat = s->now() - t0;
         };
         sim.spawn(run(&rc, &wc, bytes, &sim, &out));
@@ -124,7 +125,7 @@ struct ChainCase
 class ChainSweep : public ::testing::TestWithParam<ChainCase>
 {
   protected:
-    static core::ChainRecord
+    static obs::ChainRecord
     run(bool moleculeMode, int length, bool cross)
     {
         sim::Simulation sim;
@@ -145,7 +146,7 @@ class ChainSweep : public ::testing::TestWithParam<ChainCase>
         for (int i = 0; i < length; ++i)
             placement.push_back(cross ? i % 2 : 0);
         auto spec = ChainSpec::linear("sweep", chain);
-        return runtime.invokeChainSync(spec, placement);
+        return runtime.invokeChainSync(spec, placement).value();
     }
 };
 
@@ -197,7 +198,7 @@ class StartupSweep
         runtime.registerCpuFunction("image-resize",
                                     {PuType::HostCpu, PuType::Dpu});
         runtime.start();
-        return runtime.invokeSync("image-resize", pu).startup;
+        return runtime.invokeSync("image-resize", pu).value().startup;
     }
 };
 
@@ -242,10 +243,10 @@ class FpgaChainSweep
         runtime.start();
         std::vector<std::string> fns(std::size_t(length),
                                      "fpga-vecstage");
-        core::ChainRecord rec;
+        obs::ChainRecord rec;
         auto run = [](Molecule *m, std::vector<std::string> c, bool s,
                       std::uint64_t b,
-                      core::ChainRecord *out) -> sim::Task<> {
+                      obs::ChainRecord *out) -> sim::Task<> {
             *out = co_await m->dag().runFpgaChain(c, 0, s, b);
         };
         runtime.simulation().spawn(run(&runtime, fns, shm, bytes, &rec));

@@ -199,7 +199,8 @@ TEST_F(RuncFixture, FirstInvokePaysCowFaults)
     auto invokeIt = [](RuncRuntime *r, SimTime exec, SimTime *out,
                        Simulation *s) -> Task<> {
         const SimTime t0 = s->now();
-        co_await r->invoke("sb", exec);
+        molecule::core::Status st = co_await r->invoke("sb", exec);
+        EXPECT_TRUE(st.ok()) << st.toString();
         *out = s->now() - t0;
     };
     SimTime first, second;
@@ -225,7 +226,8 @@ TEST_F(RuncFixture, VectorOpsDegenerateToLoops)
     int created = 0;
     auto doIt = [](RuncRuntime *r, std::vector<CreateRequest> rs,
                    int *out) -> Task<> {
-        *out = co_await r->createVector(rs);
+        auto created = co_await r->createVector(rs);
+        *out = created.valueOr(-1);
     };
     sim.spawn(doIt(&runc, reqs, &created));
     sim.run();

@@ -128,7 +128,8 @@ TEST_F(RunfFixture, VectorCreatePacksOneImage)
     int created = 0;
     auto doIt = [](RunfRuntime *r, std::vector<CreateRequest> rs,
                    int *out) -> Task<> {
-        *out = co_await r->createVector(rs);
+        auto made = co_await r->createVector(rs);
+        *out = made.valueOr(0);
     };
     timeIt(doIt(&runf, reqs, &created));
     EXPECT_EQ(created, 2);
@@ -152,7 +153,8 @@ TEST_F(RunfFixture, VectorCreateRespectsResourceBudget)
     int created = -1;
     auto doIt = [](RunfRuntime *r, const std::vector<CreateRequest> *rs,
                    int *out) -> Task<> {
-        *out = co_await r->createVector(*rs);
+        auto made = co_await r->createVector(*rs);
+        *out = made.valueOr(0);
     };
     timeIt(doIt(&runf, &reqs, &created));
     EXPECT_EQ(created, 0);
@@ -167,7 +169,8 @@ TEST_F(RunfFixture, StartVectorPrepsConcurrently)
     int created = 0;
     auto createIt = [](RunfRuntime *r, std::vector<CreateRequest> rs,
                        int *out) -> Task<> {
-        *out = co_await r->createVector(rs);
+        auto made = co_await r->createVector(rs);
+        *out = made.valueOr(0);
     };
     timeIt(createIt(&runf, reqs, &created));
     ASSERT_EQ(created, 2);
@@ -218,7 +221,8 @@ TEST_F(RunfFixture, ZeroCopyChainSkipsDma)
     int created = 0;
     auto doIt = [](RunfRuntime *r, std::vector<CreateRequest> rs,
                    int *out) -> Task<> {
-        *out = co_await r->createVector(rs);
+        auto made = co_await r->createVector(rs);
+        *out = made.valueOr(0);
     };
     timeIt(doIt(&runf, reqs, &created));
     ASSERT_EQ(created, 2);

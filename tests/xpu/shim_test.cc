@@ -4,12 +4,14 @@
 
 #include <memory>
 
+#include "core/status.hh"
 #include "hw/computer.hh"
 #include "xpu/client.hh"
 #include "xpu/shim.hh"
 
 namespace {
 
+using molecule::core::Errc;
 using molecule::hw::buildCpuDpuServer;
 using molecule::hw::Computer;
 using molecule::hw::DpuGeneration;
@@ -20,6 +22,20 @@ using molecule::sim::SimTime;
 using molecule::sim::Task;
 using namespace molecule::sim::literals;
 using namespace molecule::xpu;
+
+namespace core = molecule::core;
+
+using FdOutcome = core::Expected<XpuFd>;
+using ReadOutcome = core::Expected<molecule::os::FifoMessage>;
+using SpawnOutcome = core::Expected<XpuPid>;
+
+/** Placeholder for an outcome slot a coroutine fills later. */
+template <typename T>
+core::Expected<T>
+pending()
+{
+    return core::Error(Errc::InvalidArgument, "not run");
+}
 
 /**
  * Host CPU + 2 BF-1 DPUs, one shim each, one process per PU with an
@@ -60,31 +76,33 @@ struct ShimFixture : ::testing::Test
 };
 
 Task<>
-initFifo(XpuClient &client, std::string uuid, FdResult *out)
+initFifo(XpuClient &client, std::string uuid, FdOutcome *out)
 {
-    *out = co_await client.xfifoInit(uuid);
+    FdOutcome r = co_await client.xfifoInit(uuid);
+    *out = std::move(r);
 }
 
 Task<>
-connectFifo(XpuClient &client, std::string uuid, FdResult *out)
+connectFifo(XpuClient &client, std::string uuid, FdOutcome *out)
 {
-    *out = co_await client.xfifoConnect(uuid);
+    FdOutcome r = co_await client.xfifoConnect(uuid);
+    *out = std::move(r);
 }
 
 Task<>
 grantIt(XpuClient &client, XpuPid target, ObjId obj, Perm perm,
-        XpuStatus *out)
+        core::Status *out)
 {
     *out = co_await client.grantCap(target, obj, perm);
 }
 
 TEST_F(ShimFixture, FifoInitRegistersEverywhere)
 {
-    FdResult r;
+    FdOutcome r = pending<XpuFd>();
     sim.spawn(initFifo(*cpuClient, "self/cpu-fn", &r));
     sim.run();
-    ASSERT_EQ(r.status, XpuStatus::Ok);
-    EXPECT_GE(r.fd, 3);
+    ASSERT_TRUE(r.ok()) << r.error().toString();
+    EXPECT_GE(r.value(), 3);
     // Immediate sync: every shim can resolve the uuid locally.
     EXPECT_NE(cpuShim->caps().findByUuid("self/cpu-fn"), nullptr);
     EXPECT_NE(dpu1Shim->caps().findByUuid("self/cpu-fn"), nullptr);
@@ -95,85 +113,89 @@ TEST_F(ShimFixture, FifoInitRegistersEverywhere)
 
 TEST_F(ShimFixture, DuplicateUuidIsRejected)
 {
-    FdResult a, b;
+    FdOutcome a = pending<XpuFd>();
+    FdOutcome b = pending<XpuFd>();
     sim.spawn(initFifo(*cpuClient, "dup", &a));
     sim.run();
     sim.spawn(initFifo(*dpu1Client, "dup", &b));
     sim.run();
-    EXPECT_EQ(a.status, XpuStatus::Ok);
-    EXPECT_EQ(b.status, XpuStatus::AlreadyExists);
+    EXPECT_TRUE(a.ok());
+    ASSERT_FALSE(b.ok());
+    EXPECT_EQ(b.error().code(), Errc::AlreadyExists);
 }
 
 TEST_F(ShimFixture, ConnectRequiresCapability)
 {
-    FdResult fifo;
+    FdOutcome fifo = pending<XpuFd>();
     sim.spawn(initFifo(*cpuClient, "guarded", &fifo));
     sim.run();
-    ASSERT_EQ(fifo.status, XpuStatus::Ok);
+    ASSERT_TRUE(fifo.ok());
 
     // Unprivileged remote process cannot connect...
-    FdResult denied;
+    FdOutcome denied = pending<XpuFd>();
     sim.spawn(connectFifo(*dpu1Client, "guarded", &denied));
     sim.run();
-    EXPECT_EQ(denied.status, XpuStatus::NoPermission);
+    ASSERT_FALSE(denied.ok());
+    EXPECT_EQ(denied.error().code(), Errc::NoPermission);
 
     // ...until the owner grants it write permission.
-    XpuStatus st{};
-    const ObjId obj = cpuClient->objectOf(fifo.fd);
+    core::Status st;
+    const ObjId obj = cpuClient->objectOf(fifo.value());
     sim.spawn(grantIt(*cpuClient, dpu1Client->xpuPid(), obj, Perm::Write,
                       &st));
     sim.run();
-    EXPECT_EQ(st, XpuStatus::Ok);
+    EXPECT_TRUE(st.ok()) << st.toString();
 
-    FdResult ok;
+    FdOutcome ok = pending<XpuFd>();
     sim.spawn(connectFifo(*dpu1Client, "guarded", &ok));
     sim.run();
-    EXPECT_EQ(ok.status, XpuStatus::Ok);
+    EXPECT_TRUE(ok.ok());
 }
 
 TEST_F(ShimFixture, GrantRequiresOwner)
 {
-    FdResult fifo;
+    FdOutcome fifo = pending<XpuFd>();
     sim.spawn(initFifo(*cpuClient, "owned", &fifo));
     sim.run();
-    const ObjId obj = cpuClient->objectOf(fifo.fd);
+    const ObjId obj = cpuClient->objectOf(fifo.value());
 
     // dpu1 has no owner bit: granting to itself must fail.
-    XpuStatus st{};
+    core::Status st;
     sim.spawn(grantIt(*dpu1Client, dpu1Client->xpuPid(), obj, Perm::Read,
                       &st));
     sim.run();
-    EXPECT_EQ(st, XpuStatus::NoPermission);
+    EXPECT_EQ(st.code(), Errc::NoPermission);
 }
 
 TEST_F(ShimFixture, RevokedPermissionStopsConnects)
 {
-    FdResult fifo;
+    FdOutcome fifo = pending<XpuFd>();
     sim.spawn(initFifo(*cpuClient, "revocable", &fifo));
     sim.run();
-    const ObjId obj = cpuClient->objectOf(fifo.fd);
-    XpuStatus st{};
+    const ObjId obj = cpuClient->objectOf(fifo.value());
+    core::Status st;
     sim.spawn(grantIt(*cpuClient, dpu1Client->xpuPid(), obj, Perm::Read,
                       &st));
     sim.run();
 
     auto revokeIt = [](XpuClient &c, XpuPid t, ObjId o,
-                       XpuStatus *out) -> Task<> {
+                       core::Status *out) -> Task<> {
         *out = co_await c.revokeCap(t, o, Perm::Read);
     };
     sim.spawn(revokeIt(*cpuClient, dpu1Client->xpuPid(), obj, &st));
     sim.run();
-    EXPECT_EQ(st, XpuStatus::Ok);
+    EXPECT_TRUE(st.ok()) << st.toString();
 
-    FdResult denied;
+    FdOutcome denied = pending<XpuFd>();
     sim.spawn(connectFifo(*dpu1Client, "revocable", &denied));
     sim.run();
-    EXPECT_EQ(denied.status, XpuStatus::NoPermission);
+    ASSERT_FALSE(denied.ok());
+    EXPECT_EQ(denied.error().code(), Errc::NoPermission);
 }
 
 struct NipcResult
 {
-    XpuStatus writeStatus = XpuStatus::Ok;
+    core::Status writeStatus;
     SimTime writeLatency;
     molecule::os::FifoMessage received;
 };
@@ -182,18 +204,20 @@ Task<>
 nipcWriter(XpuClient &client, std::string uuid, std::uint64_t bytes,
            NipcResult *out, Simulation &sim)
 {
-    FdResult fd = co_await client.xfifoConnect(uuid);
+    FdOutcome fd = co_await client.xfifoConnect(uuid);
+    const XpuFd rawFd = fd.ok() ? fd.value() : XpuFd(-1);
     const SimTime start = sim.now();
-    out->writeStatus = co_await client.xfifoWrite(fd.fd, bytes, "req");
+    out->writeStatus = co_await client.xfifoWrite(rawFd, bytes, "req");
     out->writeLatency = sim.now() - start;
 }
 
 Task<>
 nipcReader(XpuClient &client, std::string uuid, NipcResult *out)
 {
-    FdResult fd = co_await client.xfifoInit(uuid);
-    ReadResult r = co_await client.xfifoRead(fd.fd);
-    out->received = r.msg;
+    FdOutcome fd = co_await client.xfifoInit(uuid);
+    ReadOutcome r = co_await client.xfifoRead(fd.value());
+    if (r.ok())
+        out->received = r.value();
 }
 
 TEST_F(ShimFixture, CrossPuWriteDeliversAndLandsInPaperBand)
@@ -202,14 +226,14 @@ TEST_F(ShimFixture, CrossPuWriteDeliversAndLandsInPaperBand)
     NipcResult res;
     sim.spawn(nipcReader(*cpuClient, "nipc", &res));
     sim.run();
-    XpuStatus st{};
+    core::Status st;
     const ObjId obj = cpuShim->caps().findByUuid("nipc")->id;
     sim.spawn(grantIt(*cpuClient, dpu1Client->xpuPid(), obj, Perm::Write,
                       &st));
     sim.run();
     sim.spawn(nipcWriter(*dpu1Client, "nipc", 64, &res, sim));
     sim.run();
-    EXPECT_EQ(res.writeStatus, XpuStatus::Ok);
+    EXPECT_TRUE(res.writeStatus.ok()) << res.writeStatus.toString();
     EXPECT_EQ(res.received.bytes, 64u);
     EXPECT_EQ(res.received.tag, "req");
     // nIPC-Poll on BF-1: ~25 us (§6.1).
@@ -227,7 +251,7 @@ TEST_F(ShimFixture, TransportsOrderAsInFig8)
         NipcResult res;
         sim.spawn(nipcReader(*cpuClient, uuid, &res));
         sim.run();
-        XpuStatus st{};
+        core::Status st;
         const ObjId obj = cpuShim->caps().findByUuid(uuid)->id;
         sim.spawn(grantIt(*cpuClient, dpu1Client->xpuPid(), obj,
                           Perm::Write, &st));
@@ -255,23 +279,24 @@ TEST_F(ShimFixture, WriteWithoutCapabilityIsDenied)
     // the invalid fd reports InvalidArgument.
     sim.spawn(nipcWriter(*dpu1Client, "locked", 64, &res, sim));
     sim.run();
-    EXPECT_EQ(res.writeStatus, XpuStatus::InvalidArgument);
+    EXPECT_EQ(res.writeStatus.code(), Errc::InvalidArgument);
 }
 
 TEST_F(ShimFixture, CloseReclaimsLazily)
 {
-    FdResult fifo;
+    FdOutcome fifo = pending<XpuFd>();
     sim.spawn(initFifo(*cpuClient, "transient", &fifo));
     sim.run();
     EXPECT_EQ(cpuShim->homedFifoCount(), 1u);
 
-    auto closeIt = [](XpuClient &c, XpuFd fd, XpuStatus *out) -> Task<> {
+    auto closeIt = [](XpuClient &c, XpuFd fd,
+                      core::Status *out) -> Task<> {
         *out = co_await c.xfifoClose(fd);
     };
-    XpuStatus st{};
-    sim.spawn(closeIt(*cpuClient, fifo.fd, &st));
+    core::Status st;
+    sim.spawn(closeIt(*cpuClient, fifo.value(), &st));
     sim.run();
-    EXPECT_EQ(st, XpuStatus::Ok);
+    EXPECT_TRUE(st.ok()) << st.toString();
     // Backing queue reclaimed immediately on the home PU...
     EXPECT_EQ(cpuShim->homedFifoCount(), 0u);
     // ...but remote replicas are updated lazily (batched).
@@ -295,78 +320,83 @@ TEST_F(ShimFixture, XspawnStartsProcessOnTargetPu)
                             spawned = &proc;
                             EXPECT_EQ(shim.puId(), 2);
                         });
-    SpawnCallResult r;
-    auto spawnIt = [](XpuClient &c, SpawnCallResult *out) -> Task<> {
+    SpawnOutcome r = pending<XpuPid>();
+    auto spawnIt = [](XpuClient &c, SpawnOutcome *out) -> Task<> {
         std::vector<CapGrant> capv;
-        *out = co_await c.xspawn(2, "executor", capv);
+        SpawnOutcome s = co_await c.xspawn(2, "executor", capv);
+        *out = std::move(s);
     };
     sim.spawn(spawnIt(*cpuClient, &r));
     sim.run();
-    ASSERT_EQ(r.status, XpuStatus::Ok);
-    EXPECT_EQ(r.pid.pu, 2);
+    ASSERT_TRUE(r.ok()) << r.error().toString();
+    EXPECT_EQ(r.value().pu, 2);
     EXPECT_TRUE(hookRan);
     ASSERT_NE(spawned, nullptr);
     EXPECT_EQ(spawned->name(), "executor");
-    EXPECT_EQ(dpu2Os.findProcess(r.pid.local), spawned);
+    EXPECT_EQ(dpu2Os.findProcess(r.value().local), spawned);
 }
 
 TEST_F(ShimFixture, XspawnGrantsCapvExplicitly)
 {
-    FdResult fifo;
+    FdOutcome fifo = pending<XpuFd>();
     sim.spawn(initFifo(*cpuClient, "for-child", &fifo));
     sim.run();
-    const ObjId obj = cpuClient->objectOf(fifo.fd);
+    const ObjId obj = cpuClient->objectOf(fifo.value());
 
-    SpawnCallResult r;
+    SpawnOutcome r = pending<XpuPid>();
     auto spawnIt = [](XpuClient &c, ObjId o,
-                      SpawnCallResult *out) -> Task<> {
+                      SpawnOutcome *out) -> Task<> {
         std::vector<CapGrant> capv{CapGrant{o, Perm::Write}};
-        *out = co_await c.xspawn(1, "worker", capv);
+        SpawnOutcome s = co_await c.xspawn(1, "worker", capv);
+        *out = std::move(s);
     };
     sim.spawn(spawnIt(*cpuClient, obj, &r));
     sim.run();
-    ASSERT_EQ(r.status, XpuStatus::Ok);
+    ASSERT_TRUE(r.ok()) << r.error().toString();
     // The child received exactly the capv permissions, visible on
     // every shim (immediate sync), and nothing else.
-    EXPECT_TRUE(dpu1Shim->caps().check(r.pid, obj, Perm::Write));
-    EXPECT_TRUE(cpuShim->caps().check(r.pid, obj, Perm::Write));
-    EXPECT_FALSE(dpu1Shim->caps().check(r.pid, obj, Perm::Read));
+    EXPECT_TRUE(dpu1Shim->caps().check(r.value(), obj, Perm::Write));
+    EXPECT_TRUE(cpuShim->caps().check(r.value(), obj, Perm::Write));
+    EXPECT_FALSE(dpu1Shim->caps().check(r.value(), obj, Perm::Read));
 }
 
 TEST_F(ShimFixture, XspawnToUnknownPuFails)
 {
-    SpawnCallResult r;
-    auto spawnIt = [](XpuClient &c, SpawnCallResult *out) -> Task<> {
+    SpawnOutcome r = pending<XpuPid>();
+    auto spawnIt = [](XpuClient &c, SpawnOutcome *out) -> Task<> {
         std::vector<CapGrant> capv;
-        *out = co_await c.xspawn(9, "nothing", capv);
+        SpawnOutcome s = co_await c.xspawn(9, "nothing", capv);
+        *out = std::move(s);
     };
     sim.spawn(spawnIt(*cpuClient, &r));
     sim.run();
-    EXPECT_EQ(r.status, XpuStatus::NotFound);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code(), Errc::NotFound);
 }
 
 TEST_F(ShimFixture, SameUuidNamespaceAcrossPus)
 {
     // A fifo initialized on the DPU is connectable from the CPU after
     // a grant: full symmetry of the nIPC path.
-    FdResult fifo;
+    FdOutcome fifo = pending<XpuFd>();
     sim.spawn(initFifo(*dpu1Client, "dpu-home", &fifo));
     sim.run();
-    ASSERT_EQ(fifo.status, XpuStatus::Ok);
+    ASSERT_TRUE(fifo.ok());
     EXPECT_EQ(dpu1Shim->homedFifoCount(), 1u);
 
-    XpuStatus st{};
-    const ObjId obj = dpu1Client->objectOf(fifo.fd);
+    core::Status st;
+    const ObjId obj = dpu1Client->objectOf(fifo.value());
     sim.spawn(grantIt(*dpu1Client, cpuClient->xpuPid(), obj, Perm::Write,
                       &st));
     sim.run();
 
     NipcResult res;
     auto readIt = [](XpuClient &c, XpuFd fd, NipcResult *out) -> Task<> {
-        ReadResult r = co_await c.xfifoRead(fd);
-        out->received = r.msg;
+        ReadOutcome r = co_await c.xfifoRead(fd);
+        if (r.ok())
+            out->received = r.value();
     };
-    sim.spawn(readIt(*dpu1Client, fifo.fd, &res));
+    sim.spawn(readIt(*dpu1Client, fifo.value(), &res));
     sim.spawn(nipcWriter(*cpuClient, "dpu-home", 128, &res, sim));
     sim.run();
     EXPECT_EQ(res.received.bytes, 128u);

@@ -24,6 +24,13 @@
  *       Load a binary trace written by obs::writeBinary and print the
  *       per-phase latency table (count, total, p50/p95/p99).
  *
+ *   recovery [--check]
+ *       Crash a DPU under traced load and print the fault->recovery
+ *       timeline (fault.inject, retry.backoff, fault.restart,
+ *       recovery.resync + recovery.rewarm). --check verifies the
+ *       causal shape: the fault span precedes recovery, the resync
+ *       moved bytes, and the re-warm completed.
+ *
  *   --validate FILE
  *       Structurally validate an existing Chrome trace JSON file.
  *
@@ -47,6 +54,7 @@
 #include <vector>
 
 #include "core/molecule.hh"
+#include "fault/injector.hh"
 #include "obs/export.hh"
 #include "sim/table.hh"
 #include "workloads/catalog.hh"
@@ -376,6 +384,104 @@ cmdFig12(const std::string &jsonPath, const std::string &binPath,
     return ok ? 0 : 1;
 }
 
+/**
+ * The recovery scenario: warm a DPU, crash it under a planned fault
+ * while invocations retry with failover, let it restart and re-warm.
+ */
+std::vector<obs::SpanRecord>
+runRecoveryScenario()
+{
+    sim::Simulation simu;
+    obs::Tracer tracer(simu, 42);
+    auto computer = hw::buildCpuDpuServer(simu, 2,
+                                          hw::DpuGeneration::Bf1);
+    fault::FaultState faults;
+    core::MoleculeOptions options;
+    options.tracer = &tracer;
+    options.faults = &faults;
+    core::Molecule runtime(*computer, options);
+    runtime.registerCpuFunction("image-resize",
+                                {hw::PuType::HostCpu, hw::PuType::Dpu});
+    runtime.start();
+
+    core::InvokeOptions opts;
+    opts.pu = 1;
+    opts.maxAttempts = 3;
+    (void)runtime.invokeSync("image-resize", opts); // warm the DPU
+
+    fault::Injector injector(simu, faults, &tracer);
+    fault::InjectionPlan plan;
+    plan.crashPu(1, simu.now(), sim::SimTime::milliseconds(6));
+    injector.arm(plan);
+    (void)runtime.invokeSync("image-resize", opts); // fails over
+    (void)runtime.invokeSync("image-resize", opts); // back on the DPU
+    return tracer.records();
+}
+
+/** Print the fault->recovery timeline; optionally check its shape. */
+int
+cmdRecovery(bool check)
+{
+    SpanTree tree(runRecoveryScenario());
+
+    sim::Table t("Fault -> recovery timeline (DPU crash + restart)");
+    t.header({"t (ms)", "span", "layer", "pu", "ms", "detail"});
+    const obs::SpanRecord *inject = nullptr;
+    const obs::SpanRecord *recovery = nullptr;
+    const obs::SpanRecord *resync = nullptr;
+    const obs::SpanRecord *rewarm = nullptr;
+    bool sawBackoff = false;
+    for (const auto &r : tree.records) {
+        const bool interesting =
+            std::strncmp(r.name, "fault.", 6) == 0 ||
+            std::strncmp(r.name, "recovery", 8) == 0 ||
+            std::strcmp(r.name, "retry.backoff") == 0;
+        if (!interesting)
+            continue;
+        t.row({sim::Table::num(toMs(r.start), 3), r.name,
+               obs::toString(r.layer), std::to_string(r.pu),
+               sim::Table::num(toMs(tree.durationNs(r)), 3), r.detail});
+        if (std::strcmp(r.name, "fault.inject") == 0)
+            inject = &r;
+        else if (std::strcmp(r.name, "recovery") == 0)
+            recovery = &r;
+        else if (std::strcmp(r.name, "recovery.resync") == 0)
+            resync = &r;
+        else if (std::strcmp(r.name, "recovery.rewarm") == 0)
+            rewarm = &r;
+        else if (std::strcmp(r.name, "retry.backoff") == 0)
+            sawBackoff = true;
+    }
+    t.print();
+
+    if (!check)
+        return 0;
+    bool ok = true;
+    auto require = [&ok](bool cond, const char *what) {
+        if (!cond) {
+            std::fprintf(stderr, "FAIL: %s\n", what);
+            ok = false;
+        }
+    };
+    require(inject != nullptr, "no fault.inject span");
+    require(sawBackoff, "no retry.backoff span");
+    require(recovery != nullptr, "no recovery root span");
+    require(resync != nullptr, "no recovery.resync span");
+    require(rewarm != nullptr, "no recovery.rewarm span");
+    if (inject != nullptr && recovery != nullptr)
+        require(inject->start <= recovery->start,
+                "recovery started before the fault");
+    if (resync != nullptr)
+        require(resync->arg > 0, "capability resync moved no bytes");
+    if (recovery != nullptr && rewarm != nullptr)
+        require(rewarm->parentId == recovery->spanId,
+                "rewarm is not a child of the recovery span");
+    if (ok)
+        std::printf("OK: fault -> backoff -> restart -> resync -> "
+                    "rewarm all traced\n");
+    return ok ? 0 : 1;
+}
+
 int
 cmdReport(const std::string &binPath)
 {
@@ -413,6 +519,7 @@ main(int argc, char **argv)
                      "usage: trace_report fig10 [--check]\n"
                      "       trace_report fig12 [--json PATH] "
                      "[--bin PATH] [--validate]\n"
+                     "       trace_report recovery [--check]\n"
                      "       trace_report report BIN\n"
                      "       trace_report --validate FILE\n");
         return 2;
@@ -442,6 +549,12 @@ main(int argc, char **argv)
                 return usage();
         }
         return cmdFig12(jsonPath, binPath, validate);
+    }
+    if (cmd == "recovery") {
+        bool check = false;
+        for (int i = 2; i < argc; ++i)
+            check = check || std::string(argv[i]) == "--check";
+        return cmdRecovery(check);
     }
     if (cmd == "report" && argc >= 3)
         return cmdReport(argv[2]);
