@@ -75,17 +75,39 @@ class PerfSnapshot
 
     /**
      * Record a measured value for @p name. Repeated records (e.g.
-     * --benchmark_repetitions) keep the fastest run: for a throughput
-     * metric the max is the least-interference estimate. Every sample
-     * also feeds a distribution so the snapshot can report run-to-run
-     * spread (p50/p95/p99) next to the headline value.
+     * --benchmark_repetitions) keep the fastest run as the headline:
+     * for a throughput metric the max is the least-interference
+     * estimate. Every sample is kept exactly, so the snapshot reports
+     * honest run-to-run spread (min/mean/p50/p95/p99) — the old
+     * log-bucketed histogram collapsed a handful of repetitions into
+     * one bucket and printed p50 == p95 == p99.
      */
     void
     record(const std::string &name, double value)
     {
         auto &e = entry(name);
         e.value = std::max(e.value, value);
-        e.samples.add(value);
+        e.samples.push_back(value);
+    }
+
+    /**
+     * Exact percentile over the recorded samples: linear
+     * interpolation between closest ranks, the convention used by
+     * numpy and gbench aggregates. @p p in [0, 100].
+     */
+    static double
+    percentileOf(std::vector<double> sorted, double p)
+    {
+        if (sorted.empty())
+            return 0.0;
+        std::sort(sorted.begin(), sorted.end());
+        const double rank =
+            (p / 100.0) * double(sorted.size() - 1);
+        const std::size_t lo = std::size_t(rank);
+        const std::size_t hi =
+            lo + 1 < sorted.size() ? lo + 1 : lo;
+        const double frac = rank - double(lo);
+        return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
     }
 
     /** Write the snapshot as JSON. @retval false open/write failed. */
@@ -108,18 +130,27 @@ class PerfSnapshot
                              e.baseline, e.value / e.baseline);
             }
             // Spread only means something with repetitions; a single
-            // sample would just echo the value three times.
-            if (e.samples.count() > 1) {
-                std::fprintf(f,
-                             ",\n      \"samples\": %llu"
-                             ",\n      \"p50\": %.1f"
-                             ",\n      \"p95\": %.1f"
-                             ",\n      \"p99\": %.1f",
-                             static_cast<unsigned long long>(
-                                 e.samples.count()),
-                             e.samples.percentile(50),
-                             e.samples.percentile(95),
-                             e.samples.percentile(99));
+            // sample would just echo the value.
+            if (e.samples.size() > 1) {
+                double sum = 0.0;
+                double mn = e.samples.front();
+                for (double s : e.samples) {
+                    sum += s;
+                    mn = std::min(mn, s);
+                }
+                std::fprintf(
+                    f,
+                    ",\n      \"samples\": %llu"
+                    ",\n      \"min\": %.1f"
+                    ",\n      \"mean\": %.1f"
+                    ",\n      \"p50\": %.1f"
+                    ",\n      \"p95\": %.1f"
+                    ",\n      \"p99\": %.1f",
+                    static_cast<unsigned long long>(e.samples.size()),
+                    mn, sum / double(e.samples.size()),
+                    percentileOf(e.samples, 50),
+                    percentileOf(e.samples, 95),
+                    percentileOf(e.samples, 99));
             }
             std::fprintf(f, "\n    }");
             sep = ",\n";
@@ -134,8 +165,8 @@ class PerfSnapshot
         std::string name;
         double value = 0.0;
         double baseline = 0.0;
-        /** All recorded samples (run-to-run spread). */
-        obs::Histogram samples;
+        /** Every recorded sample, in record order (exact spread). */
+        std::vector<double> samples;
     };
 
     Entry &

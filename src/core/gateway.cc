@@ -8,7 +8,7 @@ namespace calib = hw::calib;
 
 Expected<int>
 Gateway::admit(const FunctionDef &fn, int requestedPu,
-               const std::vector<int> &exclude) const
+               std::span<const int> exclude) const
 {
     const bool excluded =
         requestedPu >= 0 &&

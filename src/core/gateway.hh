@@ -43,7 +43,7 @@ class Gateway
      *         allowed PU can admit the function.
      */
     Expected<int> admit(const FunctionDef &fn, int requestedPu,
-                        const std::vector<int> &exclude = {}) const;
+                        std::span<const int> exclude = {}) const;
 
   private:
     Deployment &dep_;

@@ -103,14 +103,13 @@ Molecule::start()
 
 sim::Task<Expected<obs::InvocationRecord>>
 Molecule::invokeOnce(const FunctionDef &def, const InvokeOptions &opts,
-                     int attempt, const std::vector<int> &exclude,
-                     sim::SimTime t0, obs::SpanContext rootCtx,
-                     AcquiredInstance *acqOut)
+                     int attempt, obs::PuList exclude, sim::SimTime t0,
+                     obs::SpanContext rootCtx, AcquiredInstance *acqOut)
 {
     const FunctionDef *defp = &def;
     const InvokeOptions owned_opts = opts;
-    const std::vector<int> owned_exclude =
-        owned_opts.failover ? exclude : std::vector<int>{};
+    const obs::PuList owned_exclude =
+        owned_opts.failover ? exclude : obs::PuList{};
     AcquiredInstance *out = acqOut;
     auto &sim = simulation();
 
@@ -130,7 +129,7 @@ Molecule::invokeOnce(const FunctionDef &def, const InvokeOptions &opts,
                                   ? owned_opts.pu
                                   : -1;
         const Expected<int> admitted =
-            gateway_->admit(*defp, requested, owned_exclude);
+            gateway_->admit(*defp, requested, owned_exclude.view());
         if (!admitted.ok())
             co_return admitted.error();
         target = admitted.value();
@@ -239,7 +238,7 @@ Molecule::invoke(const std::string &fn, const InvokeOptions &opts)
     const sim::SimTime t0 = sim.now();
     const int maxAttempts =
         owned_opts.maxAttempts < 1 ? 1 : owned_opts.maxAttempts;
-    std::vector<int> tried;
+    obs::PuList tried;
     Error lastErr;
     int attemptsMade = 0;
 
@@ -263,10 +262,7 @@ Molecule::invoke(const std::string &fn, const InvokeOptions &opts)
             obs::InvocationRecord rec = std::move(r.value());
             rec.traceId = root.traceId();
             rec.pusTried = tried;
-            rec.failedOver =
-                !tried.empty() &&
-                std::find(tried.begin(), tried.end(), rec.pu) ==
-                    tried.end();
+            rec.failedOver = !tried.empty() && !tried.contains(rec.pu);
             rec.endToEnd = sim.now() - t0;
             // The measured window ends here; the keep-alive release
             // below is runtime bookkeeping and must not stretch the
@@ -280,9 +276,7 @@ Molecule::invoke(const std::string &fn, const InvokeOptions &opts)
         }
 
         lastErr = r.error();
-        if (lastErr.pu() >= 0 &&
-            std::find(tried.begin(), tried.end(), lastErr.pu()) ==
-                tried.end())
+        if (lastErr.pu() >= 0 && !tried.contains(lastErr.pu()))
             tried.push_back(lastErr.pu());
         if (lastErr.code() == Errc::DeadlineExceeded)
             break; // The budget is gone; a retry cannot make it.
@@ -296,7 +290,7 @@ Molecule::invoke(const std::string &fn, const InvokeOptions &opts)
         options_.tracer->metrics().counter("invoke.failed").inc();
     if (attemptsMade <= 1 || lastErr.code() == Errc::DeadlineExceeded) {
         Error out = lastErr;
-        out.withPusTried(tried);
+        out.withPusTried(tried.toVector());
         co_return out;
     }
     Error out(Errc::RetriesExhausted,
@@ -304,7 +298,7 @@ Molecule::invoke(const std::string &fn, const InvokeOptions &opts)
                   std::to_string(attemptsMade) + " attempts");
     out.causedBy(lastErr)
         .withRetries(attemptsMade - 1)
-        .withPusTried(tried);
+        .withPusTried(tried.toVector());
     co_return out;
 }
 

@@ -244,9 +244,8 @@ class Molecule
      */
     sim::Task<Expected<obs::InvocationRecord>>
     invokeOnce(const FunctionDef &def, const InvokeOptions &opts,
-               int attempt, const std::vector<int> &exclude,
-               sim::SimTime t0, obs::SpanContext rootCtx,
-               AcquiredInstance *acqOut);
+               int attempt, obs::PuList exclude, sim::SimTime t0,
+               obs::SpanContext rootCtx, AcquiredInstance *acqOut);
 
     hw::Computer &computer_;
     MoleculeOptions options_;

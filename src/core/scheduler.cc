@@ -12,7 +12,7 @@ Scheduler::admissibleBytes(int pu) const
 
 int
 Scheduler::pickPu(const FunctionDef &fn,
-                  const std::vector<int> &exclude) const
+                  std::span<const int> exclude) const
 {
     decisions_.fetchAdd(1);
     // Profiles sorted by price: cheapest first.

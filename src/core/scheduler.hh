@@ -11,6 +11,8 @@
 #ifndef MOLECULE_CORE_SCHEDULER_HH
 #define MOLECULE_CORE_SCHEDULER_HH
 
+#include <span>
+
 #include "core/dag.hh"
 #include "core/deployment.hh"
 #include "core/function.hh"
@@ -37,7 +39,7 @@ class Scheduler
      * @return PU id, or -1 when no PU can admit the function.
      */
     int pickPu(const FunctionDef &fn,
-               const std::vector<int> &exclude = {}) const;
+               std::span<const int> exclude = {}) const;
 
     /**
      * Place a whole chain: all nodes on one PU when a single PU allows

@@ -1,18 +1,27 @@
 #include "fault/injector.hh"
 
+#include <vector>
+
 namespace molecule::fault {
 
 void
 Injector::arm(const InjectionPlan &plan)
 {
     const sim::SimTime now = sim_.now();
+    // One batched schedule for the whole plan: sequence numbers (and
+    // therefore same-instant firing order) match the old one-call-per-
+    // spec loop exactly, but the queue is entered once.
+    std::vector<sim::BatchEvent> batch;
+    batch.reserve(plan.specs().size());
     for (const FaultSpec &spec : plan.specs()) {
         armed_.push_back(spec);
         const FaultSpec *slot = &armed_.back();
         const sim::SimTime after =
             spec.at > now ? spec.at - now : sim::SimTime(0);
-        sim_.schedule(after, [this, slot] { fire(*slot); });
+        batch.push_back(sim::BatchEvent{
+            after, sim::InlineCallback([this, slot] { fire(*slot); })});
     }
+    sim_.scheduleBatch(batch);
 }
 
 void

@@ -441,6 +441,28 @@ readBinary(const std::string &path)
     return out;
 }
 
+// Arena-buffer overloads: exporting is an end-of-run (cold) path, so
+// the snapshot copy is the simple, lifetime-correct choice — the
+// output must survive the simulation that owns the arena.
+
+std::string
+chromeTraceJson(const SpanBuffer &records)
+{
+    return chromeTraceJson(records.snapshot());
+}
+
+bool
+writeChromeTrace(const std::string &path, const SpanBuffer &records)
+{
+    return writeChromeTrace(path, records.snapshot());
+}
+
+bool
+writeBinary(const std::string &path, const SpanBuffer &records)
+{
+    return writeBinary(path, records.snapshot());
+}
+
 } // namespace molecule::obs
 
 #endif // MOLECULE_TRACING

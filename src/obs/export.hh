@@ -40,6 +40,21 @@ bool writeChromeTrace(const std::string &path,
 bool writeBinary(const std::string &path,
                  const std::vector<SpanRecord> &records);
 
+/**
+ * @name Arena-buffer convenience overloads
+ * Exports copy the records out of the arena first (snapshot), per the
+ * arena lifetime contract: the produced JSON/file must stay valid
+ * after the simulation — and its arena — are gone.
+ */
+///@{
+std::string chromeTraceJson(const SpanBuffer &records);
+
+bool writeChromeTrace(const std::string &path,
+                      const SpanBuffer &records);
+
+bool writeBinary(const std::string &path, const SpanBuffer &records);
+///@}
+
 /** Result of readBinary: records plus the string table their name
  * and detail fields point into (keep the struct alive while using
  * the records). */

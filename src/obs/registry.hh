@@ -17,8 +17,10 @@
 #define MOLECULE_OBS_REGISTRY_HH
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "sim/time.hh"
 
@@ -100,34 +102,53 @@ class Histogram
 /**
  * Named metrics, ordered (std::map) so iteration order — and any
  * digest or report built from it — is deterministic.
+ *
+ * Lookups are heterogeneous (string_view against std::less<>), so the
+ * per-span hot path — histogram(rec.name) with a string-literal name —
+ * allocates nothing once the metric exists. Returned references are
+ * address-stable for the life of the registry (map nodes never move),
+ * so callers may cache them across pushes; clear() invalidates caches.
  */
 class Registry
 {
   public:
-    Counter &counter(const std::string &name) { return counters_[name]; }
+    template <typename T>
+    using NamedMap = std::map<std::string, T, std::less<>>;
 
-    Gauge &gauge(const std::string &name) { return gauges_[name]; }
-
-    Histogram &histogram(const std::string &name) { return hists_[name]; }
-
-    const std::map<std::string, Counter> &counters() const
+    Counter &counter(std::string_view name)
     {
-        return counters_;
+        return lookup(counters_, name);
     }
 
-    const std::map<std::string, Gauge> &gauges() const { return gauges_; }
+    Gauge &gauge(std::string_view name) { return lookup(gauges_, name); }
 
-    const std::map<std::string, Histogram> &histograms() const
+    Histogram &histogram(std::string_view name)
     {
-        return hists_;
+        return lookup(hists_, name);
     }
+
+    const NamedMap<Counter> &counters() const { return counters_; }
+
+    const NamedMap<Gauge> &gauges() const { return gauges_; }
+
+    const NamedMap<Histogram> &histograms() const { return hists_; }
 
     void clear();
 
   private:
-    std::map<std::string, Counter> counters_;
-    std::map<std::string, Gauge> gauges_;
-    std::map<std::string, Histogram> hists_;
+    template <typename T>
+    static T &
+    lookup(NamedMap<T> &m, std::string_view name)
+    {
+        auto it = m.find(name);
+        if (it == m.end())
+            it = m.emplace(std::string(name), T{}).first;
+        return it->second;
+    }
+
+    NamedMap<Counter> counters_;
+    NamedMap<Gauge> gauges_;
+    NamedMap<Histogram> hists_;
 };
 
 } // namespace molecule::obs

@@ -61,7 +61,8 @@ installLogPrefixHook()
 
 Tracer::Tracer(sim::Simulation &sim, std::uint64_t seed,
                std::size_t ringCapacity)
-    : sim_(sim), seed_(seed), ringCapacity_(ringCapacity)
+    : sim_(sim), seed_(seed), ringCapacity_(ringCapacity),
+      records_(sim.arena())
 {
     installLogPrefixHook();
 }
@@ -90,17 +91,23 @@ void
 Tracer::push(const SpanRecord &rec)
 {
     if (ringCapacity_ != 0 && records_.size() >= ringCapacity_) {
-        // Compact ring: drop the oldest half in one move so pushes
-        // stay amortized O(1) without a circular index.
+        // Compact ring: drop the oldest half so pushes stay amortized
+        // O(1); vacated chunks recycle inside the SpanBuffer.
         const std::size_t keep = ringCapacity_ / 2;
         dropped_ += records_.size() - keep;
-        records_.erase(records_.begin(),
-                       records_.end() - std::ptrdiff_t(keep));
+        records_.dropOldest(records_.size() - keep);
     }
     records_.push_back(rec);
     metrics_.histogram(rec.name).addTime(
         sim::SimTime(rec.end - rec.start));
-    metrics_.counter(std::string("spans.") + toString(rec.layer)).inc();
+    Counter *&layerCounter = layerCounters_[std::size_t(rec.layer)];
+    if (layerCounter == nullptr) {
+        // First span of this layer: build the "spans.<layer>" name
+        // once and cache the (address-stable) registry node.
+        layerCounter = &metrics_.counter(std::string("spans.") +
+                                         toString(rec.layer));
+    }
+    layerCounter->inc();
 }
 
 void
@@ -109,6 +116,8 @@ Tracer::clear()
     records_.clear();
     dropped_ = 0;
     metrics_.clear();
+    for (Counter *&c : layerCounters_)
+        c = nullptr;
 }
 
 Span::Span(Tracer *tracer, std::uint64_t trace, std::uint64_t parent,

@@ -46,8 +46,8 @@
 #if MOLECULE_TRACING
 #include <cstring>
 #include <type_traits>
-#include <vector>
 
+#include "obs/span_buffer.hh"
 #include "sim/simulation.hh"
 #endif
 
@@ -62,29 +62,8 @@ class Tracer;
 
 #if MOLECULE_TRACING
 
-/**
- * One finished span. `name` must point to a string literal (static
- * storage); dynamic annotations go into the fixed `detail` buffer so
- * recording never allocates.
- */
-struct SpanRecord
-{
-    std::uint64_t traceId = 0;
-    std::uint64_t spanId = 0;
-    /** Parent span id; 0 = trace root. */
-    std::uint64_t parentId = 0;
-    const char *name = "?";
-    Layer layer = Layer::Core;
-    /** Sim-time nanoseconds. */
-    std::int64_t start = 0;
-    std::int64_t end = 0;
-    /** PU the work happened on (-1: not PU-bound). */
-    std::int32_t pu = -1;
-    /** Free-form numeric payload (bytes moved, units, ...). */
-    std::int64_t arg = 0;
-    /** Truncating copy of a dynamic annotation (function name, ...). */
-    char detail[24] = {};
-};
+// SpanRecord lives in obs/span_buffer.hh together with its
+// arena-backed container.
 
 /**
  * Causal position inside a trace: which tracer, which trace, which
@@ -133,11 +112,16 @@ class Tracer
 
     std::int64_t now() const { return sim_.now().raw(); }
 
-    /** Append one finished span (ring-bounded). */
+    /** Append one finished span (ring-bounded, allocation-free at
+     * steady state — see SpanBuffer). */
     void push(const SpanRecord &rec);
 
-    /** Finished spans, oldest first (ring order already linearized). */
-    const std::vector<SpanRecord> &records() const { return records_; }
+    /**
+     * Finished spans, oldest first (ring order already linearized).
+     * The records live in the simulation's arena; anything that must
+     * outlive the simulation copies out via SpanBuffer::snapshot().
+     */
+    const SpanBuffer &records() const { return records_; }
 
     /** Spans discarded because the ring filled (0 = complete). */
     std::uint64_t dropped() const { return dropped_; }
@@ -156,8 +140,12 @@ class Tracer
     std::uint64_t nextSpanId_ = 1;
     std::size_t ringCapacity_;
     std::uint64_t dropped_ = 0;
-    std::vector<SpanRecord> records_;
+    SpanBuffer records_;
     Registry metrics_;
+    /** Cached "spans.<layer>" counters: Registry nodes are
+     * address-stable, so push() skips the name round trip. Reset by
+     * clear() together with the registry. */
+    Counter *layerCounters_[5] = {};
 };
 
 /**

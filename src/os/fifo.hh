@@ -62,9 +62,10 @@ class LocalFifo
     void
     poison(const std::string &tag)
     {
-        const std::size_t n = queue_.waitingGetters();
-        for (std::size_t i = 0; i < n; ++i)
-            (void)queue_.tryPut(FifoMessage{0, tag});
+        // One batched wake for all blocked readers: same sentinel per
+        // reader and the same resume order as a tryPut-per-waiter
+        // loop, in a single event-queue transaction.
+        (void)queue_.poisonGetters(FifoMessage{0, tag});
     }
 
   private:

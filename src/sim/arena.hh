@@ -1,0 +1,208 @@
+/**
+ * @file
+ * Monotonic bump arena for per-simulation scratch storage.
+ *
+ * The obs/fault layers (and the event queue's timer wheel) need many
+ * small, uniformly short-lived records per simulated event: span
+ * records, invocation bookkeeping, wheel bucket blocks. Allocating each
+ * from the global heap costs a malloc/free pair on the hot path and —
+ * worse for reproducibility debugging — makes steady-state behavior
+ * depend on the allocator. Arena replaces all of that with a pointer
+ * bump into chunked slabs.
+ *
+ * Lifetime contract (see DESIGN.md §4d):
+ *  - allocations live until reset() or destruction; there is no
+ *    per-object free (deallocate is a no-op by design);
+ *  - reset() rewinds to empty but *retains* the chunks, so a reused
+ *    arena reaches zero-allocation steady state;
+ *  - destructors are never run by the arena — only trivially
+ *    destructible payloads (or containers that destroy elements
+ *    themselves through ArenaAllocator) belong here;
+ *  - nothing allocated from a simulation-owned arena may outlive that
+ *    simulation. Exports that must survive (trace JSON, digests) copy
+ *    out first.
+ */
+
+#ifndef MOLECULE_SIM_ARENA_HH
+#define MOLECULE_SIM_ARENA_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <vector>
+
+namespace molecule::sim {
+
+/**
+ * Chunked monotonic allocator. Not thread-safe (simulations are
+ * single-threaded; SweepRunner gives each lane its own Simulation and
+ * therefore its own arenas).
+ */
+class Arena
+{
+  public:
+    static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+    /** The first chunk is allocated lazily, so constructing a
+     * Simulation (or EventQueue) that never touches the arena costs
+     * nothing. */
+    explicit Arena(std::size_t chunkBytes = kDefaultChunkBytes)
+        : chunkBytes_(chunkBytes ? chunkBytes : kDefaultChunkBytes)
+    {}
+
+    Arena(const Arena &) = delete;
+    Arena &operator=(const Arena &) = delete;
+
+    /** Bump-allocate @p bytes with @p align; never returns nullptr. */
+    void *
+    allocate(std::size_t bytes,
+             std::size_t align = alignof(std::max_align_t))
+    {
+        if (bytes == 0)
+            bytes = 1;
+        for (;;) {
+            if (cur_ < chunks_.size()) {
+                Chunk &c = chunks_[cur_];
+                const std::size_t base =
+                    (off_ + (align - 1)) & ~(align - 1);
+                if (base + bytes <= c.cap) {
+                    off_ = base + bytes;
+                    used_ = base + bytes > used_ ? base + bytes : used_;
+                    return c.data.get() + base;
+                }
+                // Current chunk exhausted (or too small for this
+                // request): advance. A retained chunk that is large
+                // enough gets reused; otherwise a fresh one is added.
+                if (cur_ + 1 < chunks_.size() &&
+                    chunks_[cur_ + 1].cap >= bytes + align) {
+                    ++cur_;
+                    off_ = 0;
+                    continue;
+                }
+            }
+            addChunk(bytes + align);
+        }
+    }
+
+    /** Construct a T in the arena. T must be trivially destructible
+     * (the arena never runs destructors on reset). */
+    template <typename T, typename... Args>
+    T *
+    create(Args &&...args)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena payloads must not need destructors");
+        return ::new (allocate(sizeof(T), alignof(T)))
+            T(std::forward<Args>(args)...);
+    }
+
+    /** Uninitialized array of T (trivially destructible). */
+    template <typename T>
+    T *
+    allocateArray(std::size_t n)
+    {
+        static_assert(std::is_trivially_destructible_v<T>,
+                      "arena payloads must not need destructors");
+        return static_cast<T *>(allocate(sizeof(T) * n, alignof(T)));
+    }
+
+    /**
+     * Rewind to empty, retaining every chunk for reuse. Everything
+     * previously handed out is invalidated at once; callers must not
+     * hold pointers across a reset.
+     */
+    void
+    reset()
+    {
+        cur_ = 0;
+        off_ = 0;
+    }
+
+    /** Total bytes reserved across chunks (diagnostics). */
+    std::size_t
+    capacityBytes() const
+    {
+        std::size_t total = 0;
+        for (const Chunk &c : chunks_)
+            total += c.cap;
+        return total;
+    }
+
+    std::size_t chunkCount() const { return chunks_.size(); }
+
+    /** High-water offset within the deepest chunk reached so far
+     * (coarse usage signal for tests/diagnostics). */
+    std::size_t highWaterOffset() const { return used_; }
+
+  private:
+    struct Chunk
+    {
+        std::unique_ptr<std::byte[]> data;
+        std::size_t cap;
+    };
+
+    void
+    addChunk(std::size_t atLeast)
+    {
+        const std::size_t cap =
+            atLeast > chunkBytes_ ? atLeast : chunkBytes_;
+        chunks_.push_back(
+            Chunk{std::make_unique<std::byte[]>(cap), cap});
+        cur_ = chunks_.size() - 1;
+        off_ = 0;
+    }
+
+    std::vector<Chunk> chunks_;
+    std::size_t chunkBytes_;
+    std::size_t cur_ = 0;  // index of the chunk being bumped
+    std::size_t off_ = 0;  // bump offset within chunks_[cur_]
+    std::size_t used_ = 0; // high-water bump offset (diagnostics)
+};
+
+/**
+ * std-compatible allocator over an Arena. deallocate is a no-op: the
+ * memory comes back wholesale at Arena::reset(). Suitable for node
+ * containers (std::map) whose churn would otherwise hit the heap per
+ * insert/erase; erased nodes are *not* reused, which is the intended
+ * trade — fault bookkeeping is small and bounded per run.
+ */
+template <typename T>
+class ArenaAllocator
+{
+  public:
+    using value_type = T;
+
+    explicit ArenaAllocator(Arena &arena) noexcept : arena_(&arena) {}
+
+    template <typename U>
+    ArenaAllocator(const ArenaAllocator<U> &other) noexcept
+        : arena_(other.arena())
+    {}
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(
+            arena_->allocate(n * sizeof(T), alignof(T)));
+    }
+
+    void deallocate(T *, std::size_t) noexcept {}
+
+    Arena *arena() const noexcept { return arena_; }
+
+    template <typename U>
+    bool
+    operator==(const ArenaAllocator<U> &other) const noexcept
+    {
+        return arena_ == other.arena();
+    }
+
+  private:
+    Arena *arena_;
+};
+
+} // namespace molecule::sim
+
+#endif // MOLECULE_SIM_ARENA_HH

@@ -20,6 +20,7 @@
 
 #include <coroutine>
 #include <cstddef>
+#include <cstring>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -62,6 +63,25 @@ class InlineCallback
                   std::is_invocable_r_v<void, std::decay_t<F> &>>>
     InlineCallback(F &&fn)
     {
+        emplace(std::forward<F>(fn));
+    }
+
+    /**
+     * Replace the held callable, constructing the new one directly in
+     * the inline buffer — the schedule hot path uses this to build the
+     * callable straight inside its event-slab slot instead of paying a
+     * construct-then-relocate round trip.
+     */
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                  !std::is_same_v<std::decay_t<F>,
+                                  std::coroutine_handle<>> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    void
+    emplace(F &&fn)
+    {
+        reset();
         using Fn = std::decay_t<F>;
         if constexpr (fitsInline<Fn>()) {
             ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(fn));
@@ -77,7 +97,7 @@ class InlineCallback
         : ops_(std::exchange(other.ops_, nullptr))
     {
         if (ops_)
-            ops_->relocate(buf_, other.buf_);
+            relocateFrom(other.buf_);
     }
 
     InlineCallback &
@@ -87,7 +107,7 @@ class InlineCallback
             reset();
             ops_ = std::exchange(other.ops_, nullptr);
             if (ops_)
-                ops_->relocate(buf_, other.buf_);
+                relocateFrom(other.buf_);
         }
         return *this;
     }
@@ -127,20 +147,39 @@ class InlineCallback
     reset() noexcept
     {
         if (ops_) {
-            ops_->destroy(buf_);
+            if (ops_->destroy)
+                ops_->destroy(buf_);
             ops_ = nullptr;
         }
     }
 
   private:
+    /**
+     * Per-type vtable. relocate/destroy are null for trivially
+     * copyable/destructible payloads (coroutine handles, reference
+     * captures — the hot cases): the caller then uses a branch-free
+     * inline byte copy / no-op instead of an indirect call.
+     */
     struct Ops
     {
         void (*invoke)(void *storage);
-        /** Move-construct into @p dst from @p src, destroying src. */
+        /** Move-construct into @p dst from @p src, destroying src;
+         * null means "bitwise copy of the inline buffer suffices". */
         void (*relocate)(void *dst, void *src) noexcept;
+        /** Null when destruction is a no-op. */
         void (*destroy)(void *storage) noexcept;
         bool heap;
     };
+
+    /** ops_ already taken from the source; move its payload over. */
+    void
+    relocateFrom(void *src) noexcept
+    {
+        if (ops_->relocate)
+            ops_->relocate(buf_, src);
+        else
+            std::memcpy(buf_, src, kInlineBytes);
+    }
 
     template <typename Fn>
     static constexpr bool
@@ -159,16 +198,7 @@ class InlineCallback
             .resume();
     }
 
-    static void
-    ptrRelocate(void *dst, void *src) noexcept
-    {
-        ::new (dst) void *(*static_cast<void **>(src));
-    }
-
-    static void noopDestroy(void *) noexcept {}
-
-    static constexpr Ops kCoroOps{&coroInvoke, &ptrRelocate,
-                                  &noopDestroy, false};
+    static constexpr Ops kCoroOps{&coroInvoke, nullptr, nullptr, false};
 
     template <typename Fn>
     static void
@@ -208,12 +238,16 @@ class InlineCallback
     }
 
     template <typename Fn>
-    static constexpr Ops inlineOps{&inlineInvoke<Fn>,
-                                   &inlineRelocate<Fn>,
-                                   &inlineDestroy<Fn>, false};
+    static constexpr Ops inlineOps{
+        &inlineInvoke<Fn>,
+        std::is_trivially_copyable_v<Fn> ? nullptr
+                                         : &inlineRelocate<Fn>,
+        std::is_trivially_destructible_v<Fn> ? nullptr
+                                             : &inlineDestroy<Fn>,
+        false};
 
     template <typename Fn>
-    static constexpr Ops heapOps{&heapInvoke<Fn>, &ptrRelocate,
+    static constexpr Ops heapOps{&heapInvoke<Fn>, nullptr,
                                  &heapDestroy<Fn>, true};
 
     alignas(std::max_align_t) std::byte buf_[kInlineBytes];

@@ -12,11 +12,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "sim/arena.hh"
 #include "sim/callback.hh"
 #include "sim/time.hh"
+#include "sim/timer_wheel.hh"
 
 namespace molecule::sim {
 
@@ -30,34 +34,51 @@ namespace molecule::sim {
  */
 using EventId = std::uint64_t;
 
+/** One entry of a scheduleBatch() request. */
+struct BatchEvent
+{
+    SimTime when;
+    InlineCallback fn;
+};
+
 /**
- * Allocation-free pending-event set: a 4-ary min-heap of 24-byte POD
- * nodes over a generation-tagged slab of callback slots.
+ * Allocation-free pending-event set: a hierarchical calendar wheel and
+ * a sorted ready-run in front of a 4-ary min-heap, all over a
+ * generation-tagged slab of callback slots.
  *
- * - schedule: O(log n) heap insert; no allocation once the vectors
- *   reach steady-state capacity (slots recycle through a free list);
+ * - schedule: O(1) wheel insert for short/medium delays (65.5 us
+ *   windows, ~17.2 s horizon); O(log n) heap insert for far-future
+ *   events past the horizon and for near-empty queues (below
+ *   kDirectHeapThreshold live events the heap is already cheaper);
  * - cancel:   O(1). The callback is destroyed and its slot recycled
- *   immediately; the heap node goes stale and is dropped either when
- *   it surfaces at the head or by the amortized compaction below;
- * - popNext:  O(log n), moves the callback out of its slot and
- *   recycles the slot before returning.
+ *   immediately; the node (heap, wheel or run) goes stale and is
+ *   dropped lazily or by the amortized compaction below;
+ * - pop:      O(1) amortized for the dense case. When the simulation
+ *   reaches a level-0 window, its whole bucket is drained, sorted by
+ *   (time, seq) — adaptive: already-sorted input is O(n) — and
+ *   consumed front to back with no per-event sift; each pop compares
+ *   the run head against the heap head only.
  *
  * A stale node is detected by sequence mismatch: each slab slot
  * remembers the schedule sequence of its current occupant, and a node
  * whose seq differs refers to a dead (cancelled or recycled) event.
- * When stale nodes outnumber max(live, kCompactSlack) the heap is
- * rebuilt without them, so memory use is proportional to the *live*
- * event count even under unbounded cancel churn — cancelled entries
- * can no longer accumulate the way the old tombstone-set design let
- * them.
+ * Stale heap nodes trigger an O(n) rebuild when they outnumber
+ * max(live, kCompactSlack); stale wheel nodes trigger a bucket sweep
+ * (they never slow pops, so the sweep bounds memory only); stale run
+ * entries are skipped at the head for free.
  *
- * Determinism: pop order is the strict total order (time, sequence);
- * the sequence counter increments per schedule, so same-instant events
- * fire in scheduling order (FIFO) regardless of heap shape.
+ * Determinism: every pop takes the global (time, sequence) minimum of
+ * run head and heap head, and settle() drains a wheel window only when
+ * no live head precedes its start — so same-instant events fire in
+ * scheduling order (FIFO) and the pop sequence is bit-identical to a
+ * heap-only queue.
  */
 class EventQueue
 {
   public:
+    /** Live-event floor below which inserts bypass the wheel. */
+    static constexpr std::size_t kDirectHeapThreshold = 16;
+
     /** Schedule @p fn at absolute time @p when; returns a cancel id. */
     EventId schedule(SimTime when, InlineCallback fn);
 
@@ -67,6 +88,43 @@ class EventQueue
      * no closure object, no type-erased move.
      */
     EventId schedule(SimTime when, std::coroutine_handle<> h);
+
+    /**
+     * Hot path for lambdas: the callable is constructed directly in
+     * its slab slot (no construct-then-relocate round trip through a
+     * temporary InlineCallback).
+     */
+    template <
+        typename F,
+        std::enable_if_t<
+            !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                !std::is_convertible_v<F &&, std::coroutine_handle<>> &&
+                std::is_invocable_r_v<void, std::decay_t<F> &>,
+            int> = 0>
+    EventId
+    schedule(SimTime when, F &&fn)
+    {
+        const std::uint32_t slot = acquireSlot();
+        Slot &s = slotAt(slot);
+        s.fn.emplace(std::forward<F>(fn));
+        s.seq = nextSeq_++;
+        ++live_;
+        place(Node{when.raw(), s.seq, slot}, s);
+        return (EventId(s.generation) << 32) | slot;
+    }
+
+    /**
+     * Schedule a batch of events in order (sequence numbers are
+     * consecutive, so same-instant batch entries fire in array
+     * order). Callbacks are moved out of @p events. When @p idsOut is
+     * non-null it receives one cancel id per entry.
+     */
+    void scheduleBatch(std::span<BatchEvent> events,
+                       EventId *idsOut = nullptr);
+
+    /** Batch coroutine resumption: all handles at @p when, in order. */
+    void scheduleBatch(SimTime when,
+                       std::span<const std::coroutine_handle<>> hs);
 
     /**
      * Cancel a previously scheduled event.
@@ -110,6 +168,16 @@ class EventQueue
     void fireNext();
 
     /**
+     * Drain-K: fire up to @p maxEvents events whose time is at most
+     * @p deadline, writing each event's timestamp to @p clock *before*
+     * invoking its callback. This is run()'s hot loop without the
+     * per-event function-call and empty-recheck overhead of step().
+     * @return number of events fired.
+     */
+    std::size_t drain(SimTime &clock, SimTime deadline,
+                      std::size_t maxEvents);
+
+    /**
      * Number of slab slots ever allocated (live + free-listed).
      * Diagnostics: bounded by the high-water mark of concurrently
      * *live* events, not by schedule/cancel churn.
@@ -119,19 +187,31 @@ class EventQueue
     /** Heap nodes currently held, live + stale (diagnostics). */
     std::size_t heapSize() const { return heap_.size(); }
 
+    /** Wheel nodes currently parked, live + stale (diagnostics). */
+    std::size_t wheelEntries() const { return wheel_.entries(); }
+
+    /** Ready-run entries not yet consumed, live + stale. */
+    std::size_t runLength() const { return run_.size() - runPos_; }
+
   private:
     static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+    /** Slot.nextFree side markers while a slot is occupied: cancel
+     * learns in O(1) which structure holds the node it staled. */
+    static constexpr std::uint32_t kInHeap = 0xfffffffeu;
+    static constexpr std::uint32_t kInWheel = 0xfffffffdu;
+    static constexpr std::uint32_t kInRun = 0xfffffffcu;
 
-    /** Stale-node floor before compaction triggers (tuning knob). */
+    /** Stale-node floor before heap compaction triggers. */
     static constexpr std::size_t kCompactSlack = 64;
 
-    /** Heap node: POD, 24 bytes, ordered by (when, seq). */
-    struct Node
-    {
-        std::int64_t when;  // SimTime::raw()
-        std::uint64_t seq;  // FIFO tie-break at equal timestamps
-        std::uint32_t slot; // index into slab_
-    };
+    /** Stale-node floor before a wheel sweep triggers. Larger than the
+     * heap's: a sweep walks every bucket, and wheel staleness (unlike
+     * heap staleness) never slows pops down, so it is purely a memory
+     * bound. */
+    static constexpr std::size_t kWheelSlack = 256;
+
+    /** Heap/wheel/run node: POD, 24 bytes, ordered by (when, seq). */
+    using Node = EventNode;
 
     /** Slab slot owning the callback of one pending event. */
     struct Slot
@@ -179,6 +259,21 @@ class EventQueue
         return slotAt(n.slot).seq != n.seq;
     }
 
+    /** Route a fresh node to the wheel or the heap. */
+    void place(const Node &n, Slot &s);
+
+    /**
+     * Establish the settled invariant: the earlier of run head and
+     * heap head (both live) is the globally earliest live event —
+     * every wheel window starting no later has been drained or
+     * cascaded in. All read-side accessors (nextTime, popNext,
+     * fireNext, drain) settle first.
+     */
+    void settle();
+
+    /** Earlier of live run head / heap head; null when both empty. */
+    const Node *minHead() const;
+
     void siftUp(std::size_t pos);
     void siftDown(std::size_t pos);
 
@@ -188,7 +283,25 @@ class EventQueue
     /** Rebuild the heap without stale nodes (amortized O(1)/cancel). */
     void compact();
 
-    std::uint32_t acquireSlot();
+    /** Sort a drained bucket by (when, seq); adaptive — the common
+     * time-ordered-insert case costs one is-sorted scan. */
+    static void sortNodes(std::vector<Node> &nodes);
+
+    std::uint32_t
+    acquireSlot()
+    {
+        if (freeHead_ != kNoSlot) {
+            const std::uint32_t slot = freeHead_;
+            Slot &s = slotAt(slot);
+            freeHead_ = s.nextFree;
+            s.nextFree = kNoSlot;
+            return slot;
+        }
+        return growSlot();
+    }
+
+    /** Slab-growth slow path of acquireSlot(). */
+    std::uint32_t growSlot();
 
     /** Retire the slot's id/seq so stale nodes and ids are rejected. */
     void invalidateSlot(Slot &s);
@@ -200,11 +313,23 @@ class EventQueue
     void releaseSlot(std::uint32_t slot);
 
     std::vector<Node> heap_;
+    /** Sorted drained window, consumed front to back. */
+    std::vector<Node> run_;
+    std::size_t runPos_ = 0;
+    /** Drain staging buffer; swapped with run_, so the two ping-pong
+     * and steady state allocates nothing. */
+    std::vector<Node> scratch_;
     std::vector<std::unique_ptr<Slot[]>> chunks_;
     std::size_t slotCount_ = 0;
     std::uint32_t freeHead_ = kNoSlot;
     std::size_t live_ = 0;
     std::uint64_t nextSeq_ = 1; // 0 marks a free slab slot
+    /** Exact count of stale nodes per structure (see kInHeap). */
+    std::size_t staleHeap_ = 0;
+    std::size_t staleWheel_ = 0;
+    /** Wheel-block backing store; freed wholesale with the queue. */
+    Arena arena_{16 * 1024};
+    TimerWheel wheel_{arena_};
 };
 
 } // namespace molecule::sim

@@ -1,11 +1,34 @@
 #include "sim/simulation.hh"
 
+#include <limits>
+
 namespace molecule::sim {
+
+namespace {
+
+/**
+ * Events fired per drain() call before run() re-checks for exit. Large
+ * enough to amortize the call, small enough that an interactive
+ * watcher (runUntil deadline checks) stays responsive.
+ */
+constexpr std::size_t kDrainChunk = 1024;
+
+} // namespace
 
 SimTime
 Simulation::run()
 {
-    while (step()) {
+#if MOLECULE_DETERMINISM_ANALYSIS
+    // The conflict detector needs the per-event begin/scope hooks that
+    // step() installs, so tracked runs take the slow path.
+    if (log_) {
+        while (step()) {
+        }
+        return now_;
+    }
+#endif
+    const SimTime forever(std::numeric_limits<std::int64_t>::max());
+    while (events_.drain(now_, forever, kDrainChunk) > 0) {
     }
     return now_;
 }
@@ -13,8 +36,17 @@ Simulation::run()
 SimTime
 Simulation::runUntil(SimTime deadline)
 {
-    while (!events_.empty() && events_.nextTime() <= deadline)
-        step();
+#if MOLECULE_DETERMINISM_ANALYSIS
+    if (log_) {
+        while (!events_.empty() && events_.nextTime() <= deadline)
+            step();
+        if (now_ < deadline)
+            now_ = deadline;
+        return now_;
+    }
+#endif
+    while (events_.drain(now_, deadline, kDrainChunk) > 0) {
+    }
     if (now_ < deadline)
         now_ = deadline;
     return now_;

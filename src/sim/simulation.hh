@@ -13,8 +13,10 @@
 
 #include <coroutine>
 #include <memory>
+#include <span>
 
 #include "sim/analysis.hh"
+#include "sim/arena.hh"
 #include "sim/event_queue.hh"
 #include "sim/random.hh"
 #include "sim/task.hh"
@@ -46,6 +48,14 @@ class Simulation
 
     /** The simulation-owned deterministic RNG. */
     Rng &rng() { return rng_; }
+
+    /**
+     * Per-simulation bump arena for event-frequency scratch records
+     * (span buffers, fault bookkeeping). Monotonic: freed wholesale
+     * when the simulation is destroyed; see arena.hh for the lifetime
+     * contract.
+     */
+    Arena &arena() { return arena_; }
 
     /** Schedule a callback @p after from now; returns a cancel id. */
     EventId
@@ -115,6 +125,36 @@ class Simulation
         noteScheduled();
     }
 
+    /**
+     * Resume every handle in @p hs at the current instant, in array
+     * order (consecutive sequence numbers — identical firing order to
+     * calling scheduleResume in a loop, minus the per-call overhead).
+     */
+    void
+    scheduleResumeBatch(std::span<const std::coroutine_handle<>> hs)
+    {
+        events_.scheduleBatch(now_, hs);
+        noteScheduledBatch(hs.size());
+    }
+
+    /**
+     * Schedule a batch of callbacks; each entry's `when` is a delay
+     * relative to now (rewritten in place to the absolute time).
+     * Entries fire in array order at equal timestamps.
+     */
+    void
+    scheduleBatch(std::span<BatchEvent> events)
+    {
+        for (BatchEvent &e : events) {
+            MOLECULE_ASSERT(e.when >= SimTime(0),
+                            "negative batch delay %lld ns",
+                            static_cast<long long>(e.when.raw()));
+            e.when = now_ + e.when;
+        }
+        events_.scheduleBatch(events);
+        noteScheduledBatch(events.size());
+    }
+
     /** Run until the event set drains. @return final simulated time. */
     SimTime run();
 
@@ -161,9 +201,25 @@ class Simulation
 #endif
     }
 
+    /** Tell the detector about the last @p n batch-accepted events. */
+    void
+    noteScheduledBatch(std::size_t n)
+    {
+#if MOLECULE_DETERMINISM_ANALYSIS
+        if (log_ && n > 0) {
+            const std::uint64_t last = events_.lastScheduledSeq();
+            for (std::size_t i = 0; i < n; ++i)
+                log_->noteScheduled(last - n + 1 + i, now_.raw());
+        }
+#else
+        (void)n;
+#endif
+    }
+
     EventQueue events_;
     SimTime now_{0};
     Rng rng_;
+    Arena arena_;
 #if MOLECULE_DETERMINISM_ANALYSIS
     std::unique_ptr<analysis::AccessLog> log_;
 #endif

@@ -40,15 +40,21 @@ class SimEvent
 
     bool triggered() const { return triggered_; }
 
-    /** Wake every waiter (in arrival order) at the current instant. */
+    /**
+     * Wake every waiter (in arrival order) at the current instant.
+     * One batched schedule: the waiters get consecutive sequence
+     * numbers, so the firing order is identical to resuming them in a
+     * loop — minus the per-waiter queue-entry overhead (fork/join
+     * fan-outs like allOf and startup prewarm pools wake dozens at
+     * once).
+     */
     void
     trigger()
     {
         if (triggered_)
             return;
         triggered_ = true;
-        for (auto h : waiters_)
-            sim_.scheduleResume(h);
+        sim_.scheduleResumeBatch(waiters_);
         waiters_.clear();
     }
 
@@ -83,7 +89,9 @@ class SimEvent
   private:
     Simulation &sim_;
     bool triggered_ = false;
-    std::deque<std::coroutine_handle<>> waiters_;
+    /** Contiguous so trigger() can hand the whole set to the batch
+     * scheduler as one span. */
+    std::vector<std::coroutine_handle<>> waiters_;
 };
 
 /**
@@ -265,6 +273,29 @@ class Mailbox
         return PutAwaiter(this, std::move(item));
     }
 
+    /**
+     * Fault path: deliver one copy of @p sentinel to every receiver
+     * currently blocked in get(), waking them in one batch (arrival
+     * order — the same firing order as tryPut once per waiter, since
+     * a blocked getter implies an empty queue). Used by poisoned
+     * FIFOs so no reader hangs when its producer dies.
+     * @return number of getters poisoned.
+     */
+    std::size_t
+    poisonGetters(const T &sentinel)
+    {
+        if (getters_.empty())
+            return 0;
+        const std::size_t n = getters_.size();
+        for (std::size_t i = 0; i < n; ++i)
+            items_.push_back(sentinel);
+        wakeBatch_.assign(getters_.begin(), getters_.end());
+        getters_.clear();
+        sim_.scheduleResumeBatch(wakeBatch_);
+        wakeBatch_.clear();
+        return n;
+    }
+
     /** Blocking receive: waits for a message, dequeues and returns it. */
     Task<T>
     get()
@@ -332,6 +363,9 @@ class Mailbox
     std::deque<T> items_;
     std::deque<std::coroutine_handle<>> getters_;
     std::deque<PendingPut> putters_;
+    /** Scratch for poisonGetters' batched wakeup (deque storage is
+     * not contiguous); retained so repeated poisons do not allocate. */
+    std::vector<std::coroutine_handle<>> wakeBatch_;
 };
 
 namespace detail {

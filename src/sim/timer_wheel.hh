@@ -1,0 +1,348 @@
+/**
+ * @file
+ * Hierarchical calendar wheel parking far-out events for the DES
+ * kernel.
+ *
+ * Three levels of 64 buckets; a level-l bucket spans one *window* of
+ * 2^(16+6l) ns, so the wheel covers 65.5 us windows over a 4.19 ms
+ * span (level 0), 4.19 ms windows over 268 ms (level 1) and 268 ms
+ * windows over a ~17.2 s horizon (level 2). Events past the horizon,
+ * or earlier than the drained frontier, are refused and stay in the
+ * caller's heap.
+ *
+ * The wheel never decides firing order. The EventQueue empties whole
+ * buckets: a level-0 bucket is drained into a sorted ready-run when
+ * the simulation reaches its window, and a coarser bucket is
+ * re-inserted one level finer (classic cascade). Insert, cancel
+ * (caller-side lazy) and bucket location are O(1); per-level occupancy
+ * bitmaps make locating the earliest occupied window two ctz
+ * instructions per level.
+ *
+ * Node storage is arena-backed block chains recycled through a free
+ * list, so steady-state operation performs no heap allocation.
+ */
+
+#ifndef MOLECULE_SIM_TIMER_WHEEL_HH
+#define MOLECULE_SIM_TIMER_WHEEL_HH
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sim/arena.hh"
+
+namespace molecule::sim {
+
+/** Priority node: POD, 24 bytes, identifies one scheduled event. */
+struct EventNode
+{
+    std::int64_t when;
+    std::uint64_t seq;
+    std::uint32_t slot;
+};
+
+class TimerWheel
+{
+  public:
+    static constexpr int kLevels = 3;
+    static constexpr int kBucketShift = 6;
+    static constexpr std::size_t kBuckets = std::size_t(1)
+                                            << kBucketShift;
+    /** Finest window: 2^16 ns = 65.5 us per level-0 bucket. */
+    static constexpr int kWindowShift = 16;
+    /** Sentinel "no occupied window" timestamp. */
+    static constexpr std::int64_t kNoWindow =
+        std::int64_t(0x7fffffffffffffff);
+
+    /** Bit shift from timestamp to level-l window index. */
+    static constexpr int
+    shift(int level)
+    {
+        return kWindowShift + kBucketShift * level;
+    }
+
+    /** Earliest occupied window, as located by locate(). */
+    struct Earliest
+    {
+        int level;
+        std::int64_t idx; ///< window index (timestamp >> shift(level))
+        std::int64_t ws;  ///< window start timestamp (idx << shift)
+    };
+
+    explicit TimerWheel(Arena &arena) : arena_(&arena) {}
+
+    TimerWheel(const TimerWheel &) = delete;
+    TimerWheel &operator=(const TimerWheel &) = delete;
+
+    bool empty() const { return entries_ == 0; }
+
+    /** Parked nodes, live + stale (diagnostics). */
+    std::size_t entries() const { return entries_; }
+
+    /** Drained frontier: inserts below it are refused. */
+    std::int64_t base() const { return base_; }
+
+    /**
+     * Lower bound on the start of the earliest occupied window —
+     * O(1), maintained conservatively. A head event strictly earlier
+     * than hint() can fire without scanning any bitmap. Meaningful
+     * only while !empty().
+     */
+    std::int64_t hint() const { return hint_; }
+
+    /**
+     * Park @p n.
+     * @retval false @p n.when is before the drained frontier or past
+     *               the wheel horizon; the caller keeps it (heap).
+     */
+    bool
+    insert(const EventNode &n)
+    {
+        if (n.when < base_)
+            return false;
+        int level;
+        // base_ stays aligned to the finest window (advanceBase), so
+        // the level-0 test reduces to a span check on the delta.
+        if (std::uint64_t(n.when - base_) <
+            (std::uint64_t(1) << (kWindowShift + kBucketShift))) {
+            level = 0;
+        } else if ((n.when >> shift(1)) - (base_ >> shift(1)) <
+                   std::int64_t(kBuckets)) {
+            level = 1;
+        } else if ((n.when >> shift(2)) - (base_ >> shift(2)) <
+                   std::int64_t(kBuckets)) {
+            level = 2;
+        } else {
+            return false;
+        }
+        const std::int64_t idx = n.when >> shift(level);
+        const std::int64_t ws = idx << shift(level);
+        if (ws < hint_)
+            hint_ = ws;
+        bitmap_[level] |= std::uint64_t(1) << (idx & (kBuckets - 1));
+        append(buckets_[level][idx & (kBuckets - 1)], n);
+        ++entries_;
+        return true;
+    }
+
+    /**
+     * Locate the earliest occupied window exactly (ties prefer the
+     * coarsest level, whose bucket must cascade before the finer one
+     * with the same start can drain). Refreshes hint(). Requires
+     * !empty().
+     */
+    Earliest
+    locate()
+    {
+        Earliest best{-1, 0, kNoWindow};
+        for (int l = kLevels; l-- > 0;) {
+            const std::uint64_t bits = bitmap_[l];
+            if (bits == 0)
+                continue;
+            const int s = shift(l);
+            const std::int64_t b = base_ >> s;
+            const int rot = int(b & (kBuckets - 1));
+            // Rotation invariant: occupied indexes lie in
+            // [b, b + 64), so the earliest is the first bit at or
+            // after the base's position, else the first wrapped bit.
+            const std::uint64_t hi = bits & (~std::uint64_t(0) << rot);
+            const std::int64_t idx =
+                hi != 0 ? (b - rot) + std::countr_zero(hi)
+                        : (b - rot) + std::int64_t(kBuckets) +
+                              std::countr_zero(bits);
+            const std::int64_t ws = idx << s;
+            if (ws < best.ws)
+                best = Earliest{l, idx, ws};
+        }
+        hint_ = best.ws;
+        return best;
+    }
+
+    /**
+     * Empty the bucket owning window @p at, appending its nodes to
+     * @p out in insertion (sequence) order; blocks return to the free
+     * list. The caller sorts/filters and advances the frontier.
+     * @return nodes appended.
+     */
+    std::size_t
+    drainBucket(const Earliest &at, std::vector<EventNode> &out)
+    {
+        Bucket &b = buckets_[at.level][at.idx & (kBuckets - 1)];
+        std::size_t n = 0;
+        Block *blk = b.head;
+        while (blk != nullptr) {
+            for (std::uint32_t i = 0; i < blk->count; ++i)
+                out.push_back(blk->nodes[i]);
+            n += blk->count;
+            Block *next = blk->next;
+            recycle(blk);
+            blk = next;
+        }
+        b.head = b.tail = nullptr;
+        bitmap_[at.level] &=
+            ~(std::uint64_t(1) << (at.idx & (kBuckets - 1)));
+        entries_ -= n;
+        if (entries_ == 0)
+            hint_ = kNoWindow;
+        return n;
+    }
+
+    /**
+     * Advance the drained frontier. @p t must be aligned to the
+     * finest window (callers pass window starts/ends, which are).
+     * Inserts below the frontier are refused from now on.
+     */
+    void
+    advanceBase(std::int64_t t)
+    {
+        if (t > base_)
+            base_ = t;
+    }
+
+    /** Caller-certified lower bound on every remaining window. */
+    void
+    raiseHint(std::int64_t ws)
+    {
+        if (hint_ < ws)
+            hint_ = ws;
+    }
+
+    /**
+     * Drop every node for which @p isLive is false, compacting bucket
+     * chains in place (cancel-churn memory bound).
+     * @return nodes dropped.
+     */
+    template <typename IsLive>
+    std::size_t
+    sweep(IsLive &&isLive)
+    {
+        std::size_t dropped = 0;
+        for (int l = 0; l < kLevels; ++l) {
+            std::uint64_t bits = bitmap_[l];
+            while (bits != 0) {
+                const int bit = std::countr_zero(bits);
+                bits &= bits - 1;
+                Bucket &b = buckets_[l][bit];
+                dropped += sweepBucket(b, isLive);
+                if (b.head == nullptr)
+                    bitmap_[l] &= ~(std::uint64_t(1) << bit);
+            }
+        }
+        entries_ -= dropped;
+        if (entries_ == 0)
+            hint_ = kNoWindow;
+        return dropped;
+    }
+
+  private:
+    /** Chain link of parked nodes; 256-byte arena blocks. */
+    struct Block
+    {
+        static constexpr std::uint32_t kCap = 9;
+        EventNode nodes[kCap];
+        Block *next = nullptr;
+        std::uint32_t count = 0;
+    };
+
+    struct Bucket
+    {
+        Block *head = nullptr;
+        Block *tail = nullptr;
+    };
+
+    Block *
+    takeBlock()
+    {
+        if (freeBlocks_ != nullptr) {
+            Block *b = freeBlocks_;
+            freeBlocks_ = b->next;
+            b->next = nullptr;
+            b->count = 0;
+            return b;
+        }
+        return arena_->create<Block>();
+    }
+
+    void
+    recycle(Block *blk)
+    {
+        blk->count = 0;
+        blk->next = freeBlocks_;
+        freeBlocks_ = blk;
+    }
+
+    void
+    append(Bucket &b, const EventNode &n)
+    {
+        Block *t = b.tail;
+        if (t == nullptr || t->count == Block::kCap) {
+            Block *blk = takeBlock();
+            if (t != nullptr)
+                t->next = blk;
+            else
+                b.head = blk;
+            b.tail = blk;
+            t = blk;
+        }
+        t->nodes[t->count++] = n;
+    }
+
+    template <typename IsLive>
+    std::size_t
+    sweepBucket(Bucket &b, IsLive &isLive)
+    {
+        Block *dst = b.head;
+        std::uint32_t dstN = 0;
+        std::size_t kept = 0;
+        std::size_t total = 0;
+        for (Block *src = b.head; src != nullptr; src = src->next) {
+            for (std::uint32_t i = 0; i < src->count; ++i) {
+                const EventNode n = src->nodes[i];
+                ++total;
+                if (!isLive(n))
+                    continue;
+                if (dstN == Block::kCap) {
+                    dst->count = dstN;
+                    dst = dst->next;
+                    dstN = 0;
+                }
+                dst->nodes[dstN++] = n;
+                ++kept;
+            }
+        }
+        if (kept == 0) {
+            Block *blk = b.head;
+            while (blk != nullptr) {
+                Block *next = blk->next;
+                recycle(blk);
+                blk = next;
+            }
+            b.head = b.tail = nullptr;
+            return total;
+        }
+        dst->count = dstN;
+        Block *surplus = dst->next;
+        dst->next = nullptr;
+        b.tail = dst;
+        while (surplus != nullptr) {
+            Block *next = surplus->next;
+            recycle(surplus);
+            surplus = next;
+        }
+        return total - kept;
+    }
+
+    Arena *arena_;
+    Bucket buckets_[kLevels][kBuckets]{};
+    std::uint64_t bitmap_[kLevels]{};
+    Block *freeBlocks_ = nullptr;
+    /** Aligned to the finest window; monotone. */
+    std::int64_t base_ = 0;
+    std::int64_t hint_ = kNoWindow;
+    std::size_t entries_ = 0;
+};
+
+} // namespace molecule::sim
+
+#endif // MOLECULE_SIM_TIMER_WHEEL_HH

@@ -14,6 +14,7 @@
 
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "obs/trace.hh"
 
@@ -246,6 +247,108 @@ TEST(Registry, HistogramPercentilesAreOrderedAndBounded)
     EXPECT_NEAR(p99, 990.0, 100.0);
     EXPECT_GE(p50, h.min());
     EXPECT_LE(p99, h.max());
+}
+
+TEST(SpanBuffer, PushIndexIterateAcrossChunks)
+{
+    sim::Arena arena;
+    obs::SpanBuffer buf(arena);
+    EXPECT_TRUE(buf.empty());
+
+    // Enough records to span several 128-record chunks.
+    for (std::uint64_t i = 0; i < 300; ++i) {
+        obs::SpanRecord rec;
+        rec.spanId = i + 1;
+        buf.push_back(rec);
+    }
+    ASSERT_EQ(buf.size(), 300u);
+    EXPECT_EQ(buf.front().spanId, 1u);
+    EXPECT_EQ(buf.back().spanId, 300u);
+    EXPECT_EQ(buf[200].spanId, 201u);
+
+    std::uint64_t expect = 1;
+    for (const obs::SpanRecord &rec : buf)
+        EXPECT_EQ(rec.spanId, expect++);
+
+    const std::vector<obs::SpanRecord> copy = buf.snapshot();
+    ASSERT_EQ(copy.size(), 300u);
+    EXPECT_EQ(copy[299].spanId, 300u);
+}
+
+TEST(SpanBuffer, DropOldestRecyclesWithoutArenaGrowth)
+{
+    sim::Arena arena;
+    obs::SpanBuffer buf(arena);
+
+    // Prime: fill past a few chunks so the free list exists.
+    obs::SpanRecord rec;
+    for (std::uint64_t i = 0; i < 4 * obs::SpanBuffer::kChunkSize; ++i)
+        buf.push_back(rec);
+    const std::size_t chunks = arena.chunkCount();
+
+    // Ring churn: many fill/drop cycles must reuse retired chunks,
+    // never growing the arena again.
+    for (int cycle = 0; cycle < 50; ++cycle) {
+        buf.dropOldest(buf.size() - obs::SpanBuffer::kChunkSize);
+        for (std::uint64_t i = 0; i < 3 * obs::SpanBuffer::kChunkSize;
+             ++i)
+            buf.push_back(rec);
+    }
+    EXPECT_EQ(arena.chunkCount(), chunks);
+
+    // Drop everything: empty but reusable.
+    buf.dropOldest(buf.size() + 100);
+    EXPECT_TRUE(buf.empty());
+    buf.push_back(rec);
+    EXPECT_EQ(buf.size(), 1u);
+}
+
+// The ring bound keeps the newest spans and counts the loss, with
+// the drop-oldest semantics of the old vector implementation.
+TEST(SpanBuffer, TracerRingBoundDropsOldest)
+{
+    sim::Simulation simu;
+    obs::Tracer tracer(simu, 42, 8);
+    for (int i = 0; i < 20; ++i) {
+        obs::Span span =
+            obs::Span::root(&tracer, "s", obs::Layer::Core);
+    }
+    EXPECT_LE(tracer.records().size(), 8u);
+    EXPECT_EQ(tracer.dropped() + tracer.records().size(), 20u);
+    // The survivors are the newest spans, in order.
+    const auto &records = tracer.records();
+    for (std::size_t i = 1; i < records.size(); ++i)
+        EXPECT_LT(records[i - 1].spanId, records[i].spanId);
+    EXPECT_EQ(records.back().spanId, 20u);
+}
+
+// In-flight exports must survive arena teardown: snapshots and
+// rendered JSON are copies, so clearing the tracer and resetting the
+// simulation's arena afterwards cannot corrupt them.
+TEST(SpanBuffer, ExportsSurviveClearAndArenaReset)
+{
+    sim::Simulation simu;
+    obs::Tracer tracer(simu, 42);
+    {
+        obs::Span root =
+            obs::Span::root(&tracer, "invoke", obs::Layer::Core, 1);
+        obs::Span child(root.ctx(), "startup", obs::Layer::Sandbox, 1);
+    }
+    ASSERT_EQ(tracer.records().size(), 2u);
+    const std::vector<obs::SpanRecord> snapshot =
+        tracer.records().snapshot();
+
+    tracer.clear();
+    simu.arena().reset();
+    // Clobber the arena region the old records occupied.
+    char *clobber =
+        static_cast<char *>(simu.arena().allocate(16 * 1024));
+    std::memset(clobber, 0xab, 16 * 1024);
+
+    ASSERT_EQ(snapshot.size(), 2u);
+    EXPECT_EQ(std::string(snapshot[0].name), "startup");
+    EXPECT_EQ(std::string(snapshot[1].name), "invoke");
+    EXPECT_EQ(snapshot[0].pu, 1);
 }
 
 #endif // MOLECULE_TRACING

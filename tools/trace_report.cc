@@ -135,7 +135,7 @@ runFig10Scenario()
                                 {hw::PuType::HostCpu, hw::PuType::Dpu});
     runtime.start();
     (void)runtime.invokeSync("image-resize", 0);
-    return tracer.records();
+    return tracer.records().snapshot();
 }
 
 /** The fig12 scenario: Alexa DAG, CPU->DPU placement, IPC mode. */
@@ -164,7 +164,7 @@ runFig12Scenario()
     spec.nodes.push_back(core::ChainNode{fns[3], 2});
     spec.nodes.push_back(core::ChainNode{fns[4], 2});
     (void)runtime.invokeChainSync(spec, {0, 1, 0, 1, 1});
-    return tracer.records();
+    return tracer.records().snapshot();
 }
 
 /** Print the startup phase decomposition of the first trace. */
@@ -415,7 +415,7 @@ runRecoveryScenario()
     injector.arm(plan);
     (void)runtime.invokeSync("image-resize", opts); // fails over
     (void)runtime.invokeSync("image-resize", opts); // back on the DPU
-    return tracer.records();
+    return tracer.records().snapshot();
 }
 
 /** Print the fault->recovery timeline; optionally check its shape. */
