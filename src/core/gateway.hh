@@ -42,8 +42,9 @@ class Gateway
      *         explicit placement on a down PU, NoCapacity when no
      *         allowed PU can admit the function.
      */
-    Expected<int> admit(const FunctionDef &fn, int requestedPu,
-                        std::span<const int> exclude = {}) const;
+    [[nodiscard]] Expected<int>
+    admit(const FunctionDef &fn, int requestedPu,
+          std::span<const int> exclude = {}) const;
 
   private:
     Deployment &dep_;

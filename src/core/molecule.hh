@@ -176,11 +176,11 @@ class Molecule
      * exhaustion the RetriesExhausted error carries the last cause,
      * the retry count and the PUs tried.
      */
-    sim::Task<Expected<obs::InvocationRecord>>
+    [[nodiscard]] sim::Task<Expected<obs::InvocationRecord>>
     invoke(const std::string &fn, const InvokeOptions &opts);
 
     /** One invocation; @p pu -1 lets the scheduler pick. */
-    sim::Task<Expected<obs::InvocationRecord>>
+    [[nodiscard]] sim::Task<Expected<obs::InvocationRecord>>
     invoke(const std::string &fn, int pu = -1);
 
     /**
@@ -188,11 +188,11 @@ class Molecule
      * simulation drains while the invocation is still pending (a hang
      * — some fault left it blocked forever), returns Errc::Hang.
      */
-    Expected<obs::InvocationRecord>
+    [[nodiscard]] Expected<obs::InvocationRecord>
     invokeSync(const std::string &fn, const InvokeOptions &opts);
 
-    Expected<obs::InvocationRecord> invokeSync(const std::string &fn,
-                                               int pu = -1);
+    [[nodiscard]] Expected<obs::InvocationRecord>
+    invokeSync(const std::string &fn, int pu = -1);
 
     /**
      * One FPGA invocation with @p units of input. Injected
@@ -201,35 +201,35 @@ class Molecule
      * faults are transient and count-limited, so there is no cross-
      * card failover.
      */
-    sim::Task<Expected<obs::InvocationRecord>>
+    [[nodiscard]] sim::Task<Expected<obs::InvocationRecord>>
     invokeFpga(const std::string &fn, int fpgaIndex,
                std::uint64_t units, const InvokeOptions &opts);
 
-    sim::Task<Expected<obs::InvocationRecord>>
+    [[nodiscard]] sim::Task<Expected<obs::InvocationRecord>>
     invokeFpga(const std::string &fn, int fpgaIndex,
                std::uint64_t units);
 
-    Expected<obs::InvocationRecord>
+    [[nodiscard]] Expected<obs::InvocationRecord>
     invokeFpgaSync(const std::string &fn, int fpgaIndex,
                    std::uint64_t units, const InvokeOptions &opts);
 
-    Expected<obs::InvocationRecord>
+    [[nodiscard]] Expected<obs::InvocationRecord>
     invokeFpgaSync(const std::string &fn, int fpgaIndex,
                    std::uint64_t units);
 
     /** One GPU invocation (§6.8 generality path). */
-    sim::Task<Expected<obs::InvocationRecord>>
+    [[nodiscard]] sim::Task<Expected<obs::InvocationRecord>>
     invokeGpu(const std::string &fn, int gpuIndex);
 
-    Expected<obs::InvocationRecord> invokeGpuSync(const std::string &fn,
-                                                  int gpuIndex);
+    [[nodiscard]] Expected<obs::InvocationRecord>
+    invokeGpuSync(const std::string &fn, int gpuIndex);
 
     /** Run a chain; empty placement lets the scheduler place it. */
-    sim::Task<Expected<obs::ChainRecord>>
+    [[nodiscard]] sim::Task<Expected<obs::ChainRecord>>
     invokeChain(const ChainSpec &spec, std::vector<int> placement = {},
                 bool prewarm = true);
 
-    Expected<obs::ChainRecord>
+    [[nodiscard]] Expected<obs::ChainRecord>
     invokeChainSync(const ChainSpec &spec,
                     std::vector<int> placement = {},
                     bool prewarm = true);
@@ -242,7 +242,7 @@ class Molecule
      * release it *after* closing the root span (keep-alive bookkeeping
      * must not stretch the measured window).
      */
-    sim::Task<Expected<obs::InvocationRecord>>
+    [[nodiscard]] sim::Task<Expected<obs::InvocationRecord>>
     invokeOnce(const FunctionDef &def, const InvokeOptions &opts,
                int attempt, obs::PuList exclude, sim::SimTime t0,
                obs::SpanContext rootCtx, AcquiredInstance *acqOut);

@@ -133,7 +133,7 @@ StartupManager::acquire(const FunctionDef &fn, int pu, int managerPu,
         // Admission failure (memory exhausted on this PU).
         co_return AcquiredInstance{};
     }
-    bool started;
+    bool started = false;
     {
         obs::Span st(span.ctx(), "sandbox.start", obs::Layer::Sandbox,
                      pu);
@@ -306,7 +306,7 @@ StartupManager::acquireFpga(const FunctionDef &fn, int fpgaIndex,
     } else {
         ++warmHits_;
     }
-    bool started;
+    bool started = false;
     {
         obs::Span st(span.ctx(), "sandbox.prep", obs::Layer::Sandbox,
                      dep_.computer().fpga(fpgaIndex).hostPuId());
@@ -343,7 +343,7 @@ StartupManager::acquireGpu(const FunctionDef &fn, int gpuIndex,
         const bool created = co_await rung.create(req);
         MOLECULE_ASSERT(created, "GPU create failed for '%s'",
                         fn.name.c_str());
-        bool started;
+        bool started = false;
         {
             obs::Span st(span.ctx(), "sandbox.start",
                          obs::Layer::Sandbox,

@@ -142,7 +142,8 @@ class InjectionPlan
      */
     std::string serialize() const;
 
-    static core::Expected<InjectionPlan> parse(const std::string &text);
+    [[nodiscard]] static core::Expected<InjectionPlan>
+    parse(const std::string &text);
 
     bool operator==(const InjectionPlan &) const = default;
 

@@ -170,9 +170,9 @@ class FpgaDevice
      *         slot is left erased (no resident image), and retained
      *         DRAM banks survive — recovery may retry program().
      */
-    sim::Task<core::Status> program(FpgaImage image, ProgramMode mode,
-                                    bool retainDram,
-                                    obs::SpanContext ctx = {});
+    [[nodiscard]] sim::Task<core::Status>
+    program(FpgaImage image, ProgramMode mode, bool retainDram,
+            obs::SpanContext ctx = {});
 
     bool hasImage() const { return image_.has_value(); }
 

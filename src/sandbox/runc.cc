@@ -109,7 +109,7 @@ RuncRuntime::create(const CreateRequest &req)
     const obs::SpanContext ctx = req.ctx;
     // GCC 12 rule (task.hh): co_await only as a full statement or the
     // RHS of a simple assignment -- never inside ?: or if-conditions.
-    bool ok;
+    bool ok = false;
     if (useCfork)
         ok = co_await createCfork(*raw, ctx);
     else

@@ -124,9 +124,9 @@ class RuncRuntime : public VectorizedSandboxRuntime
      *         (SandboxOomKilled, PuCrashed). The CPU time up to the
      *         kill is spent either way.
      */
-    sim::Task<core::Status> invoke(const std::string &sandboxId,
-                                   sim::SimTime hostExecCost,
-                                   obs::SpanContext ctx = {});
+    [[nodiscard]] sim::Task<core::Status>
+    invoke(const std::string &sandboxId, sim::SimTime hostExecCost,
+           obs::SpanContext ctx = {});
 
     /** @name Fault paths */
     ///@{

@@ -69,7 +69,7 @@ Rng::uniformInt(std::int64_t lo, std::int64_t hi)
         return std::int64_t(next());
     // Rejection sampling removes modulo bias.
     const std::uint64_t limit = UINT64_MAX - UINT64_MAX % span;
-    std::uint64_t v;
+    std::uint64_t v = 0;
     do {
         v = next();
     } while (v >= limit);
@@ -103,7 +103,7 @@ Rng::normal(double mean, double stddev)
 double
 Rng::exponential(double mean)
 {
-    double u;
+    double u = 0.0;
     do {
         u = uniform();
     } while (u <= 1e-300);

@@ -108,7 +108,7 @@ void
 Fingerprint::mixDouble(double v)
 {
     static_assert(sizeof(double) == sizeof(std::uint64_t));
-    std::uint64_t bits;
+    std::uint64_t bits = 0;
     std::memcpy(&bits, &v, sizeof(bits));
     mix(bits);
 }

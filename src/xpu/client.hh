@@ -44,33 +44,35 @@ class XpuClient
 
     /** @name Distributed capability calls */
     ///@{
-    sim::Task<core::Status> grantCap(XpuPid target, ObjId obj,
-                                     Perm perm);
+    [[nodiscard]] sim::Task<core::Status>
+    grantCap(XpuPid target, ObjId obj, Perm perm);
 
-    sim::Task<core::Status> revokeCap(XpuPid target, ObjId obj,
-                                      Perm perm);
+    [[nodiscard]] sim::Task<core::Status>
+    revokeCap(XpuPid target, ObjId obj, Perm perm);
     ///@}
 
     /** @name Neighbor IPC (XPU-FIFO) calls */
     ///@{
 
     /** Create an XPU-FIFO homed on this PU. */
-    sim::Task<core::Expected<XpuFd>>
+    [[nodiscard]] sim::Task<core::Expected<XpuFd>>
     xfifoInit(const std::string &globalUuid);
 
-    sim::Task<core::Expected<XpuFd>>
+    [[nodiscard]] sim::Task<core::Expected<XpuFd>>
     xfifoConnect(const std::string &globalUuid);
 
-    sim::Task<core::Status> xfifoWrite(XpuFd fd, std::uint64_t bytes,
-                                       const std::string &tag);
+    [[nodiscard]] sim::Task<core::Status>
+    xfifoWrite(XpuFd fd, std::uint64_t bytes, const std::string &tag);
 
-    sim::Task<core::Expected<os::FifoMessage>> xfifoRead(XpuFd fd);
+    [[nodiscard]] sim::Task<core::Expected<os::FifoMessage>>
+    xfifoRead(XpuFd fd);
 
-    sim::Task<core::Status> xfifoClose(XpuFd fd);
+    [[nodiscard]] sim::Task<core::Status>
+    xfifoClose(XpuFd fd);
     ///@}
 
     /** Table 2 xSpawn. */
-    sim::Task<core::Expected<XpuPid>>
+    [[nodiscard]] sim::Task<core::Expected<XpuPid>>
     xspawn(PuId target, const std::string &path,
            const std::vector<CapGrant> &capv,
            std::uint64_t memBytes = XpuShimNetwork::kDefaultSpawnBytes);

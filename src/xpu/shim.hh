@@ -88,46 +88,46 @@ class XpuShim
     /** @name XPUcall backends (Table 2), invoked via XpuClient. */
     ///@{
 
-    sim::Task<core::Status> grantCap(XpuPid caller, XpuPid target,
-                                     ObjId obj, Perm perm,
-                                     obs::SpanContext ctx = {});
+    [[nodiscard]] sim::Task<core::Status>
+    grantCap(XpuPid caller, XpuPid target, ObjId obj, Perm perm,
+             obs::SpanContext ctx = {});
 
-    sim::Task<core::Status> revokeCap(XpuPid caller, XpuPid target,
-                                      ObjId obj, Perm perm,
-                                      obs::SpanContext ctx = {});
+    [[nodiscard]] sim::Task<core::Status>
+    revokeCap(XpuPid caller, XpuPid target, ObjId obj, Perm perm,
+              obs::SpanContext ctx = {});
 
     /**
      * Create an XPU-FIFO homed on this PU. The global UUID must be
      * unique computer-wide, which is why this call synchronizes
      * immediately with every peer shim.
      */
-    sim::Task<core::Expected<ObjId>>
+    [[nodiscard]] sim::Task<core::Expected<ObjId>>
     xfifoInit(XpuPid caller, const std::string &globalUuid,
               obs::SpanContext ctx = {});
 
     /** Connect to an XPU-FIFO by global UUID (needs Read or Write). */
-    sim::Task<core::Expected<ObjId>>
+    [[nodiscard]] sim::Task<core::Expected<ObjId>>
     xfifoConnect(XpuPid caller, const std::string &globalUuid);
 
     /** Write @p bytes (payload rides shared memory / the wire). */
-    sim::Task<core::Status> xfifoWrite(XpuPid caller, ObjId obj,
-                                       std::uint64_t bytes,
-                                       const std::string &tag,
-                                       obs::SpanContext ctx = {});
+    [[nodiscard]] sim::Task<core::Status>
+    xfifoWrite(XpuPid caller, ObjId obj, std::uint64_t bytes,
+               const std::string &tag, obs::SpanContext ctx = {});
 
     /** Blocking read from an XPU-FIFO. Fails typed — never hangs —
      * when the fifo's home PU crashes while the read is pending. */
-    sim::Task<core::Expected<os::FifoMessage>>
+    [[nodiscard]] sim::Task<core::Expected<os::FifoMessage>>
     xfifoRead(XpuPid caller, ObjId obj, obs::SpanContext ctx = {});
 
     /** Drop one reference; reclamation syncs lazily. */
-    sim::Task<core::Status> xfifoClose(XpuPid caller, ObjId obj);
+    [[nodiscard]] sim::Task<core::Status>
+    xfifoClose(XpuPid caller, ObjId obj);
 
     /**
      * Spawn @p path on PU @p target, granting @p capv to the child
      * (no permissions are inherited implicitly, §3.4).
      */
-    sim::Task<core::Expected<XpuPid>>
+    [[nodiscard]] sim::Task<core::Expected<XpuPid>>
     xspawn(XpuPid caller, PuId target, const std::string &path,
            const std::vector<CapGrant> &capv, std::uint64_t memBytes,
            obs::SpanContext ctx = {});
@@ -188,11 +188,12 @@ class XpuShim
     };
 
     /** Deliver a write into a fifo homed here (charges handling). */
-    sim::Task<core::Status> deliverLocal(ObjId obj, std::uint64_t bytes,
-                                         const std::string &tag);
+    [[nodiscard]] sim::Task<core::Status>
+    deliverLocal(ObjId obj, std::uint64_t bytes, const std::string &tag);
 
     /** Blocking pop from a fifo homed here. */
-    sim::Task<core::Expected<os::FifoMessage>> consumeLocal(ObjId obj);
+    [[nodiscard]] sim::Task<core::Expected<os::FifoMessage>>
+    consumeLocal(ObjId obj);
 
     HomedFifo *findHomed(ObjId obj);
 

@@ -31,7 +31,9 @@ twoSlotImage()
 Task<>
 programIt(FpgaDevice &dev, FpgaImage img, ProgramMode mode, bool retain)
 {
-    co_await dev.program(std::move(img), mode, retain);
+    const molecule::core::Status st =
+        co_await dev.program(std::move(img), mode, retain);
+    EXPECT_TRUE(st.ok());
 }
 
 TEST(FpgaResources, ArithmeticAndFit)

@@ -1,0 +1,11 @@
+// Fixture: every outcome consumed.
+core::Status doThing(int x);
+
+bool
+caller()
+{
+    core::Status st = doThing(1);
+    if (!st.ok())
+        return false;
+    return doThing(2).ok();
+}

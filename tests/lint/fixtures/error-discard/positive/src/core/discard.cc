@@ -1,0 +1,8 @@
+// Fixture: a typed outcome dropped on the floor.
+core::Status doThing(int x);
+
+void
+caller()
+{
+    doThing(1);
+}

@@ -1,0 +1,6 @@
+// Fixture: the control plane (layer 7) composing lower layers —
+// downward includes are sanctioned.
+#include "core/registry.hh"
+#include "sandbox/runc.hh"
+#include "sim/time.hh"
+#include <vector>

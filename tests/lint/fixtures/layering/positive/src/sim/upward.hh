@@ -1,0 +1,3 @@
+// Fixture: the DES kernel (layer 0) reaching into hardware models
+// (layer 2) — an upward include the wall must reject.
+#include "hw/pu.hh"

@@ -1,0 +1,10 @@
+// Fixture: the sanctioned copy-out-before-reset pattern (DESIGN.md
+// §4d) — snapshot() copies the records out by value, so nothing
+// borrowed from the buffer survives dropOldest().
+void
+drain(obs::SpanBuffer &buf)
+{
+    std::vector<obs::SpanRecord> copy = buf.snapshot();
+    buf.dropOldest(16);
+    exportAll(copy);
+}

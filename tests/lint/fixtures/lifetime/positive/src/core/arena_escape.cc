@@ -1,0 +1,16 @@
+// Fixture: seeded arena-escape true positive — the pointer obtained
+// from create<>() is dereferenced after the arena generation it
+// belongs to was recycled by reset().
+struct Req
+{
+    int id;
+};
+
+void
+pump(sim::Arena &arena)
+{
+    Req *r = arena.create<Req>(7);
+    use(r->id);
+    arena.reset();
+    use(r->id);
+}

@@ -1,0 +1,7 @@
+// Fixture: determinism-clean model code (time from SimTime only).
+void
+tick(sim::Simulation &sim)
+{
+    const sim::SimTime now = sim.now();
+    (void)now;
+}

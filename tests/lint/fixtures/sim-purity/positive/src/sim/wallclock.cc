@@ -1,0 +1,9 @@
+// Fixture: deliberate sim-purity violation (host clock in src/sim/).
+#include <chrono>
+
+void
+tick()
+{
+    auto t = std::chrono::steady_clock::now();
+    (void)t;
+}

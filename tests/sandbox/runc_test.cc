@@ -226,8 +226,8 @@ TEST_F(RuncFixture, VectorOpsDegenerateToLoops)
     int created = 0;
     auto doIt = [](RuncRuntime *r, std::vector<CreateRequest> rs,
                    int *out) -> Task<> {
-        auto created = co_await r->createVector(rs);
-        *out = created.valueOr(-1);
+        auto made = co_await r->createVector(rs);
+        *out = made.valueOr(-1);
     };
     sim.spawn(doIt(&runc, reqs, &created));
     sim.run();

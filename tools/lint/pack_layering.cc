@@ -1,0 +1,102 @@
+/**
+ * @file
+ * layering pack: the module include wall.
+ *
+ * The sanctioned module DAG (DESIGN.md §7), lowest layer first:
+ *
+ *   sim -> obs -> hw -> os -> xpu -> sandbox -> workloads -> core
+ *       -> fault
+ *
+ * A file under src/<mod>/ may include "other/..." only when `other`
+ * sits at the same or a lower rank — lower layers can never include
+ * upward, so the DES kernel stays dependency-free, hardware models
+ * never reach into the control plane, and the chaos layer (fault)
+ * stays on top where it can see everything without being seen.
+ *
+ * Two vocabulary headers are exempt as declared cross-cutting
+ * interfaces: core/status.hh (typed outcomes; std-only and
+ * self-contained by its own charter) and fault/state.hh (header-only
+ * fault-window state each layer attaches hooks to). Everything else
+ * that needs to cross upward must carry a lint:allow(layering)
+ * justification.
+ */
+
+#include "engine.hh"
+
+namespace molecule::lint {
+
+namespace {
+
+/** Module of a file under src/ ("" when not a module source). */
+std::string
+moduleOf(const std::string &path, const Project &project)
+{
+    const std::size_t src = path.rfind("src/");
+    if (src == std::string::npos)
+        return {};
+    const std::size_t begin = src + 4;
+    const std::size_t slash = path.find('/', begin);
+    if (slash == std::string::npos)
+        return {};
+    const std::string mod = path.substr(begin, slash - begin);
+    return project.moduleRank.count(mod) ? mod : std::string{};
+}
+
+class LayeringRule final : public Rule
+{
+  public:
+    LayeringRule()
+        : Rule("layering", "layering",
+               "include crossing the module DAG upward")
+    {}
+
+    bool
+    inScope(const std::string &path) const override
+    {
+        return path.find("src/") != std::string::npos ||
+               path.rfind("src/", 0) == 0;
+    }
+
+    void
+    run(const Project &project, const SourceFile &f,
+        std::vector<Finding> &out) const override
+    {
+        const std::string mod = moduleOf(f.path, project);
+        if (mod.empty())
+            return;
+        const int rank = project.moduleRank.at(mod);
+        for (const Include &inc : f.includes) {
+            if (inc.angled)
+                continue; // system/library headers
+            const std::size_t slash = inc.target.find('/');
+            if (slash == std::string::npos)
+                continue; // sibling header inside the module
+            const std::string target = inc.target.substr(0, slash);
+            auto it = project.moduleRank.find(target);
+            if (it == project.moduleRank.end() || target == mod)
+                continue;
+            if (it->second <= rank)
+                continue; // downward or sideways: sanctioned
+            if (project.exemptHeaders.count(inc.target))
+                continue; // cross-cutting vocabulary header
+            emit(f, inc.offset,
+                 "src/" + mod + " (layer " + std::to_string(rank) +
+                     ") includes \"" + inc.target + "\" (layer " +
+                     std::to_string(it->second) +
+                     "): lower layers never include upward; invert "
+                     "the dependency or use a sanctioned interface "
+                     "header",
+                 out);
+        }
+    }
+};
+
+} // namespace
+
+void
+registerLayering(Registry &registry)
+{
+    registry.add(std::make_unique<LayeringRule>());
+}
+
+} // namespace molecule::lint

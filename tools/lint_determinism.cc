@@ -1,777 +1,63 @@
 /**
  * @file
- * Project lint wall: mechanical enforcement of the determinism rules.
+ * DEPRECATED alias for `molecule-lint --packs sim-purity`.
  *
- * The DES is only bit-reproducible while model code schedules events in
- * a deterministic order. This checker scans the source tree (regex /
- * AST-lite: comment- and string-stripped text, brace-matched function
- * bodies) and rejects the constructs that historically break that
- * property:
+ * PR 2 introduced lint_determinism as a standalone AST-lite scanner
+ * for the DES determinism rules. Its scanning core now lives in the
+ * molecule-lint rule-registry engine (tools/lint/), where the same
+ * detectors run as the `sim-purity` pack alongside the lifetime,
+ * error-discard and layering packs — with the duplicate-finding bug
+ * fixed and SARIF/baseline support added.
  *
- *  - wallclock:               std::chrono::{system,steady,
- *                             high_resolution}_clock and
- *                             std::random_device anywhere in src/
- *                             (simulations must draw time from SimTime
- *                             and randomness from sim::Rng);
- *  - unordered-iteration:     iterating an unordered_{map,set} inside
- *                             a function that (directly, or one call
- *                             hop away) schedules events — iteration
- *                             order feeds schedule order;
- *  - pointer-keyed-container: map/set keyed by a pointer type —
- *                             address-dependent iteration order;
- *  - std-function-in-sim:     std::function inside src/sim/ (the DES
- *                             hot path uses InlineCallback; see PR 1).
+ * This shim keeps the old entry point and ctest wiring alive for one
+ * PR so downstream scripts can migrate:
  *
- * Deliberate exceptions carry a `det:allow(<rule>)` comment on the
- * same or the preceding line (see DESIGN.md "Determinism rules").
+ *   lint_determinism --self-test   ==  molecule-lint --self-test sim-purity
+ *   lint_determinism <paths...>    ==  molecule-lint --packs sim-purity <paths...>
  *
- * Usage:
- *   lint_determinism <dir-or-file>...   # scan, exit 1 on violations
- *   lint_determinism --self-test        # run the built-in fixtures
- *
- * Registered as a tier-1 ctest, so violations fail the build.
+ * `det:allow(<rule>)` suppressions keep working (the sim-purity pack
+ * honors them alongside the engine-wide `lint:allow(<rule>)`). New
+ * callers should invoke molecule-lint directly; this alias goes away
+ * next PR.
  */
 
-#include <algorithm>
-#include <cctype>
 #include <cstdio>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
-#include <map>
-#include <set>
-#include <sstream>
-#include <string>
-#include <vector>
 
-namespace {
-
-namespace fs = std::filesystem;
-
-struct Violation
-{
-    std::string file;
-    std::size_t line = 0;
-    std::string rule;
-    std::string message;
-};
-
-/** A source file prepared for scanning. */
-struct SourceFile
-{
-    std::string path;
-    /** Raw text (used only for suppression comments). */
-    std::string raw;
-    /** Same text with comments and string/char literals blanked. */
-    std::string code;
-    /** Byte offset of the start of each line. */
-    std::vector<std::size_t> lineStarts;
-    /** Lines carrying det:allow(<rule>) markers. */
-    std::multimap<std::size_t, std::string> allows;
-};
-
-std::size_t
-lineOf(const SourceFile &f, std::size_t offset)
-{
-    auto it = std::upper_bound(f.lineStarts.begin(), f.lineStarts.end(),
-                               offset);
-    return std::size_t(it - f.lineStarts.begin());
-}
-
-/** Blank comments and string/char literals, preserving length/lines. */
-std::string
-stripCommentsAndStrings(const std::string &in)
-{
-    std::string out = in;
-    enum class St { Code, Line, Block, Str, Chr } st = St::Code;
-    for (std::size_t i = 0; i < in.size(); ++i) {
-        const char c = in[i];
-        const char n = i + 1 < in.size() ? in[i + 1] : '\0';
-        switch (st) {
-          case St::Code:
-            if (c == '/' && n == '/') {
-                st = St::Line;
-                out[i] = ' ';
-            } else if (c == '/' && n == '*') {
-                st = St::Block;
-                out[i] = ' ';
-            } else if (c == '"') {
-                st = St::Str;
-            } else if (c == '\'') {
-                st = St::Chr;
-            }
-            break;
-          case St::Line:
-            if (c == '\n')
-                st = St::Code;
-            else
-                out[i] = ' ';
-            break;
-          case St::Block:
-            if (c == '*' && n == '/') {
-                out[i] = ' ';
-                out[i + 1] = ' ';
-                ++i;
-                st = St::Code;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-          case St::Str:
-            if (c == '\\') {
-                out[i] = ' ';
-                if (n != '\n')
-                    out[i + 1] = ' ';
-                ++i;
-            } else if (c == '"') {
-                st = St::Code;
-            } else if (c != '\n') {
-                out[i] = ' ';
-            }
-            break;
-          case St::Chr:
-            if (c == '\\') {
-                out[i] = ' ';
-                if (n != '\n')
-                    out[i + 1] = ' ';
-                ++i;
-            } else if (c == '\'') {
-                st = St::Code;
-            } else {
-                out[i] = ' ';
-            }
-            break;
-        }
-    }
-    return out;
-}
-
-SourceFile
-prepare(std::string path, std::string raw)
-{
-    SourceFile f;
-    f.path = std::move(path);
-    f.raw = std::move(raw);
-    f.code = stripCommentsAndStrings(f.raw);
-    f.lineStarts.push_back(0);
-    for (std::size_t i = 0; i < f.raw.size(); ++i) {
-        if (f.raw[i] == '\n')
-            f.lineStarts.push_back(i + 1);
-    }
-    // Collect det:allow(<rule>) markers from the raw text.
-    static const std::string kTag = "det:allow(";
-    std::size_t pos = 0;
-    while ((pos = f.raw.find(kTag, pos)) != std::string::npos) {
-        const std::size_t open = pos + kTag.size();
-        const std::size_t close = f.raw.find(')', open);
-        if (close != std::string::npos) {
-            f.allows.emplace(lineOf(f, pos),
-                             f.raw.substr(open, close - open));
-        }
-        pos = open;
-    }
-    return f;
-}
-
-/** Suppressed when the marker sits on the same or the preceding line. */
-bool
-suppressed(const SourceFile &f, std::size_t line, const std::string &rule)
-{
-    for (std::size_t l : {line, line > 1 ? line - 1 : line}) {
-        auto [lo, hi] = f.allows.equal_range(l);
-        for (auto it = lo; it != hi; ++it) {
-            if (it->second == rule || it->second == "all")
-                return true;
-        }
-    }
-    return false;
-}
-
-bool
-identChar(char c)
-{
-    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
-}
-
-/** Offsets of whole-word occurrences of @p word in @p code. */
-std::vector<std::size_t>
-findWord(const std::string &code, const std::string &word)
-{
-    std::vector<std::size_t> out;
-    std::size_t pos = 0;
-    while ((pos = code.find(word, pos)) != std::string::npos) {
-        const bool leftOk = pos == 0 || !identChar(code[pos - 1]);
-        const std::size_t end = pos + word.size();
-        const bool rightOk = end >= code.size() || !identChar(code[end]);
-        if (leftOk && rightOk)
-            out.push_back(pos);
-        pos = end;
-    }
-    return out;
-}
-
-void
-addViolation(std::vector<Violation> &out, const SourceFile &f,
-             std::size_t offset, const std::string &rule,
-             std::string message)
-{
-    const std::size_t line = lineOf(f, offset);
-    if (suppressed(f, line, rule))
-        return;
-    out.push_back({f.path, line, rule, std::move(message)});
-}
-
-// ---------------------------------------------------------------------
-// Rule: wallclock
-// ---------------------------------------------------------------------
-
-void
-checkWallclock(const SourceFile &f, std::vector<Violation> &out)
-{
-    static const char *kBanned[] = {"system_clock", "steady_clock",
-                                    "high_resolution_clock",
-                                    "random_device"};
-    for (const char *token : kBanned) {
-        for (std::size_t pos : findWord(f.code, token)) {
-            addViolation(out, f, pos, "wallclock",
-                         std::string(token) +
-                             ": wall-clock time / OS entropy makes runs "
-                             "irreproducible; use sim::SimTime / "
-                             "sim::Rng");
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Rule: pointer-keyed-container
-// ---------------------------------------------------------------------
-
-/** First depth-0 template argument after the '<' at @p open. */
-std::string
-firstTemplateArg(const std::string &code, std::size_t open)
-{
-    int depth = 0;
-    std::size_t i = open;
-    for (; i < code.size(); ++i) {
-        const char c = code[i];
-        if (c == '<') {
-            ++depth;
-        } else if (c == '>') {
-            if (--depth == 0)
-                break;
-        } else if (c == ',' && depth == 1) {
-            break;
-        } else if (c == ';' || c == '{') {
-            break; // not a template after all (e.g. operator<)
-        }
-    }
-    if (i >= code.size())
-        return {}; // unterminated: not a real template argument list
-    if (code[i] == ';' || code[i] == '{')
-        return {}; // comparison operator, not a template
-    return code.substr(open + 1, i - open - 1);
-}
-
-void
-checkPointerKeyed(const SourceFile &f, std::vector<Violation> &out)
-{
-    static const char *kContainers[] = {"map", "set", "multimap",
-                                        "multiset", "unordered_map",
-                                        "unordered_set"};
-    for (const char *cont : kContainers) {
-        for (std::size_t pos : findWord(f.code, cont)) {
-            std::size_t open = pos + std::strlen(cont);
-            while (open < f.code.size() &&
-                   std::isspace(static_cast<unsigned char>(f.code[open])))
-                ++open;
-            if (open >= f.code.size() || f.code[open] != '<')
-                continue;
-            const std::string key = firstTemplateArg(f.code, open);
-            if (key.find('*') != std::string::npos) {
-                addViolation(out, f, pos, "pointer-keyed-container",
-                             std::string(cont) + " keyed by a pointer: "
-                             "iteration order depends on allocation "
-                             "addresses; key by a stable id instead");
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Rule: std-function-in-sim
-// ---------------------------------------------------------------------
-
-bool
-isSimKernelFile(const std::string &path)
-{
-    return path.find("src/sim/") != std::string::npos ||
-           path.rfind("sim/", 0) == 0;
-}
-
-void
-checkStdFunction(const SourceFile &f, std::vector<Violation> &out)
-{
-    if (!isSimKernelFile(f.path))
-        return;
-    std::size_t pos = 0;
-    while ((pos = f.code.find("std::function", pos)) != std::string::npos) {
-        addViolation(out, f, pos, "std-function-in-sim",
-                     "std::function in the sim kernel: the DES hot path "
-                     "is allocation-free (InlineCallback); use it or "
-                     "suppress for cold paths");
-        pos += 13;
-    }
-}
-
-// ---------------------------------------------------------------------
-// Rule: unordered-iteration
-// ---------------------------------------------------------------------
-
-struct Function
-{
-    std::string name;
-    std::size_t bodyBegin = 0; // offset just after '{'
-    std::size_t bodyEnd = 0;   // offset of matching '}'
-};
-
-/**
- * AST-lite function extraction: a '{' whose backward context looks
- * like `name(args) [const|noexcept|-> T]` starts a function body; the
- * body ends at the matching '}'. Nested lambdas stay inside the
- * enclosing function's range, which is what the rule wants.
- */
-std::vector<Function>
-extractFunctions(const std::string &code)
-{
-    std::vector<Function> out;
-    std::size_t i = 0;
-    while (i < code.size()) {
-        if (code[i] != '{') {
-            ++i;
-            continue;
-        }
-        // Walk back over qualifiers to the closing ')' of a parameter
-        // list.
-        std::size_t j = i;
-        auto skipBackWs = [&] {
-            while (j > 0 &&
-                   std::isspace(static_cast<unsigned char>(code[j - 1])))
-                --j;
-        };
-        skipBackWs();
-        for (const char *qual :
-             {"const", "noexcept", "override", "final", "mutable"}) {
-            const std::size_t len = std::strlen(qual);
-            if (j >= len && code.compare(j - len, len, qual) == 0) {
-                j -= len;
-                skipBackWs();
-            }
-        }
-        // Tolerate a trailing-return-type `-> T` (identifier-ish only).
-        {
-            std::size_t k = j;
-            while (k > 0 && (identChar(code[k - 1]) || code[k - 1] == ':' ||
-                             code[k - 1] == '<' || code[k - 1] == '>' ||
-                             code[k - 1] == ' '))
-                --k;
-            if (k >= 2 && code[k - 1] == '>' && code[k - 2] == '-') {
-                j = k - 2;
-                skipBackWs();
-            }
-        }
-        if (j == 0 || code[j - 1] != ')') {
-            ++i;
-            continue;
-        }
-        // Match back to the opening '(' and read the identifier.
-        int depth = 0;
-        std::size_t p = j - 1;
-        for (;; --p) {
-            if (code[p] == ')')
-                ++depth;
-            else if (code[p] == '(' && --depth == 0)
-                break;
-            if (p == 0)
-                break;
-        }
-        if (p == 0 && depth != 0) {
-            ++i;
-            continue;
-        }
-        std::size_t nameEnd = p;
-        while (nameEnd > 0 && std::isspace(static_cast<unsigned char>(
-                                  code[nameEnd - 1])))
-            --nameEnd;
-        std::size_t nameBegin = nameEnd;
-        while (nameBegin > 0 && identChar(code[nameBegin - 1]))
-            --nameBegin;
-        if (nameBegin == nameEnd) {
-            ++i;
-            continue;
-        }
-        const std::string name = code.substr(nameBegin,
-                                             nameEnd - nameBegin);
-        // Control-flow keywords introduce blocks, not functions.
-        static const std::set<std::string> kKeywords{
-            "if", "for", "while", "switch", "catch", "return", "sizeof",
-            "alignof", "co_await", "co_return", "co_yield", "defined"};
-        if (kKeywords.count(name)) {
-            ++i;
-            continue;
-        }
-        // Find the matching closing brace.
-        int braces = 1;
-        std::size_t end = i + 1;
-        while (end < code.size() && braces > 0) {
-            if (code[end] == '{')
-                ++braces;
-            else if (code[end] == '}')
-                --braces;
-            ++end;
-        }
-        out.push_back({name, i + 1, end > i ? end - 1 : i + 1});
-        ++i;
-    }
-    return out;
-}
-
-/** Does @p body call one of @p names (word followed by '(')? */
-bool
-callsAnyOf(const std::string &code, const Function &fn,
-           const std::set<std::string> &names)
-{
-    const std::string body = code.substr(fn.bodyBegin,
-                                         fn.bodyEnd - fn.bodyBegin);
-    for (const auto &name : names) {
-        for (std::size_t pos : findWord(body, name)) {
-            std::size_t k = pos + name.size();
-            while (k < body.size() &&
-                   std::isspace(static_cast<unsigned char>(body[k])))
-                ++k;
-            if (k < body.size() && body[k] == '(')
-                return true;
-        }
-    }
-    return false;
-}
-
-/** Names of variables/members declared as unordered containers. */
-std::set<std::string>
-unorderedVarNames(const std::string &code)
-{
-    std::set<std::string> out;
-    for (const char *cont : {"unordered_map", "unordered_set",
-                             "unordered_multimap",
-                             "unordered_multiset"}) {
-        for (std::size_t pos : findWord(code, cont)) {
-            std::size_t open = pos + std::strlen(cont);
-            while (open < code.size() &&
-                   std::isspace(static_cast<unsigned char>(code[open])))
-                ++open;
-            if (open >= code.size() || code[open] != '<')
-                continue;
-            // Skip the template argument list.
-            int depth = 0;
-            std::size_t i = open;
-            for (; i < code.size(); ++i) {
-                if (code[i] == '<')
-                    ++depth;
-                else if (code[i] == '>' && --depth == 0)
-                    break;
-            }
-            if (i >= code.size())
-                continue;
-            // The declared name follows (possibly after &/whitespace).
-            std::size_t k = i + 1;
-            while (k < code.size() &&
-                   (std::isspace(static_cast<unsigned char>(code[k])) ||
-                    code[k] == '&'))
-                ++k;
-            std::size_t nameEnd = k;
-            while (nameEnd < code.size() && identChar(code[nameEnd]))
-                ++nameEnd;
-            if (nameEnd > k)
-                out.insert(code.substr(k, nameEnd - k));
-        }
-    }
-    return out;
-}
-
-void
-checkUnorderedIteration(const SourceFile &f, std::vector<Violation> &out)
-{
-    const std::set<std::string> unordered = unorderedVarNames(f.code);
-    if (unordered.empty())
-        return;
-
-    const std::vector<Function> fns = extractFunctions(f.code);
-    static const std::set<std::string> kSchedulers{
-        "schedule", "scheduleResume", "delay"};
-
-    // Functions that schedule directly, then one transitive hop.
-    std::set<std::string> scheduling;
-    for (const auto &fn : fns) {
-        if (callsAnyOf(f.code, fn, kSchedulers))
-            scheduling.insert(fn.name);
-    }
-    std::set<std::string> reaches = scheduling;
-    for (const auto &fn : fns) {
-        if (!reaches.count(fn.name) &&
-            callsAnyOf(f.code, fn, scheduling))
-            reaches.insert(fn.name);
-    }
-
-    for (const auto &fn : fns) {
-        if (!reaches.count(fn.name))
-            continue;
-        const std::string body = f.code.substr(fn.bodyBegin,
-                                               fn.bodyEnd - fn.bodyBegin);
-        for (const auto &var : unordered) {
-            // Range-for over the container…
-            std::size_t pos = 0;
-            while ((pos = body.find(':', pos)) != std::string::npos) {
-                std::size_t k = pos + 1;
-                if (k < body.size() && body[k] == ':') {
-                    pos = k + 1; // `::` qualifier, not a range-for
-                    continue;
-                }
-                while (k < body.size() &&
-                       std::isspace(static_cast<unsigned char>(body[k])))
-                    ++k;
-                if (body.compare(k, var.size(), var) == 0 &&
-                    (k + var.size() >= body.size() ||
-                     !identChar(body[k + var.size()]))) {
-                    addViolation(
-                        out, f, fn.bodyBegin + pos,
-                        "unordered-iteration",
-                        "iterating '" + var + "' (unordered) in '" +
-                            fn.name + "', which reaches schedule/delay: "
-                            "hash order would feed event order");
-                }
-                ++pos;
-            }
-            // …or explicit begin()/end() iteration.
-            for (const char *meth : {".begin", ".end", ".cbegin"}) {
-                const std::string pat = var + meth;
-                std::size_t q = 0;
-                while ((q = body.find(pat, q)) != std::string::npos) {
-                    addViolation(
-                        out, f, fn.bodyBegin + q, "unordered-iteration",
-                        "iterating '" + var + "' (unordered) in '" +
-                            fn.name + "', which reaches schedule/delay: "
-                            "hash order would feed event order");
-                    q += pat.size();
-                }
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------
-// Driver
-// ---------------------------------------------------------------------
-
-std::vector<Violation>
-runRules(const std::string &path, const std::string &content)
-{
-    SourceFile f = prepare(path, content);
-    std::vector<Violation> out;
-    checkWallclock(f, out);
-    checkPointerKeyed(f, out);
-    checkStdFunction(f, out);
-    checkUnorderedIteration(f, out);
-    return out;
-}
-
-bool
-scannable(const fs::path &p)
-{
-    static const std::set<std::string> kExts{".hh", ".cc", ".hpp",
-                                            ".cpp", ".h"};
-    if (!kExts.count(p.extension().string()))
-        return false;
-    // bench/ is exempt from the wallclock rule (and everything else):
-    // benchmarks legitimately measure host time.
-    const std::string s = p.generic_string();
-    return s.find("/bench/") == std::string::npos &&
-           s.rfind("bench/", 0) != 0;
-}
-
-int
-scan(const std::vector<std::string> &roots)
-{
-    std::vector<Violation> all;
-    std::size_t files = 0;
-    for (const auto &root : roots) {
-        std::vector<fs::path> paths;
-        if (fs::is_directory(root)) {
-            for (const auto &e : fs::recursive_directory_iterator(root)) {
-                if (e.is_regular_file() && scannable(e.path()))
-                    paths.push_back(e.path());
-            }
-        } else {
-            paths.push_back(root);
-        }
-        std::sort(paths.begin(), paths.end());
-        for (const auto &p : paths) {
-            std::ifstream in(p);
-            std::stringstream ss;
-            ss << in.rdbuf();
-            ++files;
-            auto v = runRules(p.generic_string(), ss.str());
-            all.insert(all.end(), v.begin(), v.end());
-        }
-    }
-    for (const auto &v : all) {
-        std::fprintf(stderr, "%s:%zu: [%s] %s\n", v.file.c_str(), v.line,
-                     v.rule.c_str(), v.message.c_str());
-    }
-    std::printf("lint_determinism: %zu file(s), %zu violation(s)\n",
-                files, all.size());
-    return all.empty() ? 0 : 1;
-}
-
-// ---------------------------------------------------------------------
-// Self-test fixtures
-// ---------------------------------------------------------------------
-
-struct Fixture
-{
-    const char *name;
-    const char *path;
-    const char *content;
-    /** Expected rules, in report order; empty = must be clean. */
-    std::vector<std::string> expect;
-};
-
-int
-selfTest()
-{
-    const std::vector<Fixture> fixtures = {
-        {"wallclock hit", "src/os/kernel.cc",
-         "void f() { auto t = std::chrono::system_clock::now(); }\n",
-         {"wallclock"}},
-        {"wallclock in comment ok", "src/os/kernel.cc",
-         "// std::chrono::system_clock is banned here\nvoid f() {}\n",
-         {}},
-        {"wallclock in string ok", "src/os/kernel.cc",
-         "const char *s = \"system_clock\";\n", {}},
-        {"random_device hit", "src/sim/random.cc",
-         "int seed() { std::random_device rd; return rd(); }\n",
-         {"wallclock"}},
-        {"suppression same line", "src/os/kernel.cc",
-         "auto t = std::chrono::steady_clock::now(); // det:allow("
-         "wallclock)\n",
-         {}},
-        {"suppression previous line", "src/os/kernel.cc",
-         "// det:allow(wallclock)\n"
-         "auto t = std::chrono::steady_clock::now();\n",
-         {}},
-        {"suppression wrong rule still fires", "src/os/kernel.cc",
-         "// det:allow(unordered-iteration)\n"
-         "auto t = std::chrono::steady_clock::now();\n",
-         {"wallclock"}},
-        {"pointer-keyed map", "src/core/scheduler.hh",
-         "std::map<Process *, int> byProc_;\n",
-         {"pointer-keyed-container"}},
-        {"pointer-keyed set", "src/core/scheduler.hh",
-         "std::set<const Link *> seen_;\n",
-         {"pointer-keyed-container"}},
-        {"value-keyed map ok", "src/core/scheduler.hh",
-         "std::map<std::pair<int, int>, Route> routes_;\n"
-         "std::map<std::string, int *> ptrValuesAreFine_;\n",
-         {}},
-        {"std::function in sim", "src/sim/queue.hh",
-         "std::function<void()> cb_;\n", {"std-function-in-sim"}},
-        {"std::function outside sim ok", "src/os/memory.hh",
-         "std::function<bool(std::int64_t)> hook_;\n", {}},
-        {"unordered iteration in scheduling fn", "src/core/gateway.cc",
-         "std::unordered_map<int, int> pending_;\n"
-         "void pump() {\n"
-         "    for (auto &kv : pending_)\n"
-         "        sim.schedule(t, kv.second);\n"
-         "}\n",
-         {"unordered-iteration"}},
-        {"unordered iteration one hop from scheduling",
-         "src/core/gateway.cc",
-         "std::unordered_set<int> ready_;\n"
-         "void kick(int id) { sim.schedule(t, id); }\n"
-         "void pumpAll() {\n"
-         "    for (int id : ready_)\n"
-         "        kick(id);\n"
-         "}\n",
-         {"unordered-iteration"}},
-        {"unordered iteration without scheduling ok",
-         "src/core/gateway.cc",
-         "std::unordered_map<int, int> stats_;\n"
-         "int total() {\n"
-         "    int n = 0;\n"
-         "    for (auto &kv : stats_)\n"
-         "        n += kv.second;\n"
-         "    return n;\n"
-         "}\n",
-         {}},
-        {"ordered iteration in scheduling fn ok", "src/core/gateway.cc",
-         "std::map<int, int> pending_;\n"
-         "void pump() {\n"
-         "    for (auto &kv : pending_)\n"
-         "        sim.schedule(t, kv.second);\n"
-         "}\n",
-         {}},
-        {"unordered begin() in scheduling fn", "src/core/gateway.cc",
-         "std::unordered_map<int, int> pending_;\n"
-         "void pump() {\n"
-         "    auto it = pending_.begin();\n"
-         "    sim.delay(t);\n"
-         "}\n",
-         {"unordered-iteration"}},
-    };
-
-    int failures = 0;
-    for (const auto &fx : fixtures) {
-        const auto got = runRules(fx.path, fx.content);
-        std::vector<std::string> rules;
-        rules.reserve(got.size());
-        for (const auto &v : got)
-            rules.push_back(v.rule);
-        if (rules != fx.expect) {
-            ++failures;
-            std::fprintf(stderr, "FAIL %s: expected [", fx.name);
-            for (const auto &r : fx.expect)
-                std::fprintf(stderr, " %s", r.c_str());
-            std::fprintf(stderr, " ] got [");
-            for (const auto &v : got)
-                std::fprintf(stderr, " %s(%zu:%s)", v.rule.c_str(),
-                             v.line, v.message.substr(0, 24).c_str());
-            std::fprintf(stderr, " ]\n");
-        }
-    }
-    std::printf("lint_determinism --self-test: %zu fixtures, %d "
-                "failure(s)\n",
-                fixtures.size(), failures);
-    return failures == 0 ? 0 : 1;
-}
-
-} // namespace
+#include "lint/engine.hh"
 
 int
 main(int argc, char **argv)
 {
-    std::vector<std::string> roots;
-    bool runSelfTest = false;
+    using namespace molecule::lint;
+
+    std::fprintf(stderr,
+                 "lint_determinism: deprecated; use `molecule-lint "
+                 "--packs sim-purity` (see tools/lint/)\n");
+
+    if (argc >= 2 && std::strcmp(argv[1], "--self-test") == 0)
+        return selfTest("sim-purity");
+
+    Options opts;
+    opts.packs.insert("sim-purity");
     for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--self-test")
-            runSelfTest = true;
-        else
-            roots.push_back(arg);
+        if (argv[i][0] == '-') {
+            std::fprintf(stderr,
+                         "usage: lint_determinism [--self-test] "
+                         "<dir-or-file>...\n");
+            return 2;
+        }
+        opts.roots.push_back(argv[i]);
     }
-    if (runSelfTest)
-        return selfTest();
-    if (roots.empty()) {
+    if (opts.roots.empty()) {
         std::fprintf(stderr,
-                     "usage: lint_determinism [--self-test] <path>...\n");
+                     "usage: lint_determinism [--self-test] "
+                     "<dir-or-file>...\n");
         return 2;
     }
-    return scan(roots);
+
+    const Registry registry = makeRegistry();
+    const Result result = run(registry, opts);
+    render(registry, opts, result);
+    return result.exitCode;
 }
