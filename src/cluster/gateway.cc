@@ -1,0 +1,167 @@
+#include "cluster/gateway.hh"
+
+#include <algorithm>
+
+#include "sim/simulation.hh"
+
+namespace molecule::cluster {
+
+const char *
+toString(DropPolicy p)
+{
+    switch (p) {
+    case DropPolicy::DropNewest:
+        return "drop-newest";
+    case DropPolicy::DropOldest:
+        return "drop-oldest";
+    }
+    return "?";
+}
+
+int
+RoundRobinPolicy::pick(const load::Arrival &a,
+                       std::span<const int> outstanding, int cap)
+{
+    (void)a;
+    const std::size_t n = outstanding.size();
+    for (std::size_t tried = 0; tried < n; ++tried) {
+        const std::size_t node = cursor_ % n;
+        cursor_ = (cursor_ + 1) % n;
+        if (outstanding[node] < cap)
+            return int(node);
+    }
+    return -1;
+}
+
+int
+LeastOutstandingPolicy::pick(const load::Arrival &a,
+                             std::span<const int> outstanding, int cap)
+{
+    (void)a;
+    int best = -1;
+    int bestLoad = cap;
+    for (std::size_t node = 0; node < outstanding.size(); ++node) {
+        if (outstanding[node] < bestLoad) {
+            bestLoad = outstanding[node];
+            best = int(node);
+        }
+    }
+    return best;
+}
+
+int
+WarmAffinityPolicy::pick(const load::Arrival &a,
+                         std::span<const int> outstanding, int cap)
+{
+    const auto it = home_.find(a.fn);
+    if (it != home_.end() && outstanding[std::size_t(it->second)] < cap)
+        return it->second;
+    LeastOutstandingPolicy fallback;
+    const int node = fallback.pick(a, outstanding, cap);
+    if (node >= 0)
+        home_[a.fn] = node;
+    return node;
+}
+
+ClusterGateway::ClusterGateway(Fleet &fleet,
+                               std::vector<std::string> functions,
+                               const AdmissionOptions &options,
+                               DispatchPolicy &policy,
+                               ClusterStats &stats)
+    : fleet_(fleet), functions_(std::move(functions)), opts_(options),
+      policy_(policy), stats_(stats), tokens_(options.bucketCapacity),
+      lastRefill_(fleet.simulation().now()),
+      outstanding_(std::size_t(fleet.size()), 0)
+{
+}
+
+void
+ClusterGateway::refill()
+{
+    const sim::SimTime now = fleet_.simulation().now();
+    if (now > lastRefill_) {
+        tokens_ += (now - lastRefill_).toSeconds() *
+                   opts_.tokensPerSecond;
+        tokens_ = std::min(tokens_, opts_.bucketCapacity);
+        lastRefill_ = now;
+    }
+}
+
+void
+ClusterGateway::onArrival(const load::Arrival &a)
+{
+    stats_.onArrival();
+    if (opts_.tokensPerSecond > 0.0) {
+        refill();
+        if (tokens_ < 1.0) {
+            stats_.onShed();
+            return;
+        }
+        tokens_ -= 1.0;
+    }
+    const int node =
+        policy_.pick(a, outstanding_, opts_.maxOutstandingPerNode);
+    if (node >= 0) {
+        dispatch(a, node);
+        return;
+    }
+    if (queue_.size() >= opts_.queueCapacity) {
+        stats_.onDropped();
+        if (opts_.dropPolicy == DropPolicy::DropNewest)
+            return; // the new arrival is the casualty
+        if (!queue_.empty())
+            queue_.pop_front();
+    }
+    queue_.push_back(a);
+    stats_.onQueueDepth(queue_.size());
+}
+
+void
+ClusterGateway::pump()
+{
+    while (!queue_.empty()) {
+        const int node = policy_.pick(
+            queue_.front(), outstanding_, opts_.maxOutstandingPerNode);
+        if (node < 0)
+            break;
+        const load::Arrival a = queue_.front();
+        queue_.pop_front();
+        dispatch(a, node);
+    }
+    stats_.onQueueDepth(queue_.size());
+}
+
+void
+ClusterGateway::dispatch(const load::Arrival &a, int node)
+{
+    stats_.onAdmitted();
+    stats_.onDispatched(fleet_.simulation().now() - a.at);
+    ++outstanding_[std::size_t(node)];
+    fleet_.simulation().spawn(serve(a, node));
+}
+
+sim::Task<>
+ClusterGateway::serve(load::Arrival a, int node)
+{
+    auto result = co_await fleet_.node(node).invoke(
+        functions_.at(a.fn), opts_.invoke);
+    sim::Simulation &sim = fleet_.simulation();
+    if (result.ok())
+        stats_.onCompleted(node, result.value(), sim.now() - a.at);
+    else
+        stats_.onError(node, std::uint8_t(result.error().code()));
+    --outstanding_[std::size_t(node)];
+    policy_.onComplete(a, node);
+    pump();
+}
+
+bool
+ClusterGateway::idle() const
+{
+    if (!queue_.empty())
+        return false;
+    return std::all_of(outstanding_.begin(), outstanding_.end(),
+                       [](int o) { return o == 0; });
+}
+
+} // namespace molecule::cluster

@@ -1,0 +1,137 @@
+#include "cluster/stats.hh"
+
+#include <algorithm>
+
+namespace molecule::cluster {
+
+ClusterStats::ClusterStats(obs::Registry &registry)
+    : reg_(registry),
+      arrivals_(&reg_.counter("cluster.arrivals")),
+      admitted_(&reg_.counter("cluster.admitted")),
+      shed_(&reg_.counter("cluster.shed")),
+      dropped_(&reg_.counter("cluster.dropped")),
+      completed_(&reg_.counter("cluster.completed")),
+      errors_(&reg_.counter("cluster.errors")),
+      queueMax_(&reg_.counter("cluster.queue_max_depth")),
+      queueDepth_(&reg_.gauge("cluster.queue_depth")),
+      e2eUs_(&reg_.histogram("cluster.e2e_us")),
+      queueWaitUs_(&reg_.histogram("cluster.queue_wait_us")),
+      execUs_(&reg_.histogram("cluster.exec_us"))
+{
+}
+
+void
+ClusterStats::onShed()
+{
+    shed_->inc();
+    fp_.mix(0x5348ULL); // "SH"
+}
+
+void
+ClusterStats::onDropped()
+{
+    dropped_->inc();
+    fp_.mix(0x4452ULL); // "DR"
+}
+
+void
+ClusterStats::onQueueDepth(std::size_t depth)
+{
+    queueDepth_->set(double(depth));
+    if (std::int64_t(depth) > queueMax_->value()) {
+        queueMax_->reset();
+        queueMax_->inc(std::int64_t(depth));
+    }
+}
+
+void
+ClusterStats::onDispatched(sim::SimTime queueWait)
+{
+    queueWaitUs_->addTime(queueWait);
+}
+
+void
+ClusterStats::onCompleted(int node, const obs::InvocationRecord &rec,
+                          sim::SimTime endToEnd)
+{
+    completed_->inc();
+    e2eUs_->addTime(endToEnd);
+    execUs_->addTime(rec.execution);
+    charge(node, rec.pu, rec.execution);
+    fp_.mix(std::uint64_t(endToEnd.raw()));
+    fp_.mix(std::uint64_t(node));
+    fp_.mix(std::uint64_t(rec.pu));
+}
+
+void
+ClusterStats::onError(int node, std::uint8_t errc)
+{
+    errors_->inc();
+    fp_.mix(0x4552ULL); // "ER"
+    fp_.mix(std::uint64_t(node));
+    fp_.mix(std::uint64_t(errc));
+}
+
+void
+ClusterStats::charge(int node, int pu, sim::SimTime busy)
+{
+    busy_[{node, pu}] += busy;
+}
+
+ClusterSummary
+ClusterStats::summarize(
+    sim::SimTime horizon,
+    const std::map<std::pair<int, int>, int> &cores) const
+{
+    ClusterSummary s;
+    s.arrivals = arrivals_->value();
+    s.admitted = admitted_->value();
+    s.shed = shed_->value();
+    s.dropped = dropped_->value();
+    s.completed = completed_->value();
+    s.errors = errors_->value();
+    s.queueMaxDepth = queueMax_->value();
+    if (horizon.raw() > 0)
+        s.throughputPerSecond =
+            double(s.completed) / horizon.toSeconds();
+    s.p50Us = e2eUs_->percentile(50);
+    s.p99Us = e2eUs_->percentile(99);
+    s.p999Us = e2eUs_->percentile(99.9);
+    s.meanUs = e2eUs_->mean();
+    s.queueWaitP99Us = queueWaitUs_->percentile(99);
+    for (const auto &[key, busy] : busy_) {
+        PuUtilization u;
+        u.node = key.first;
+        u.pu = key.second;
+        u.busy = busy;
+        const auto it = cores.find(key);
+        const int n = it != cores.end() ? std::max(it->second, 1) : 1;
+        if (horizon.raw() > 0)
+            u.utilization =
+                busy.toSeconds() / (horizon.toSeconds() * double(n));
+        s.utilization.push_back(u);
+    }
+    return s;
+}
+
+std::uint64_t
+ClusterStats::digest() const
+{
+    // Close over the running stream with the final counters so two
+    // runs differing only in tail bookkeeping cannot collide.
+    sim::Fingerprint fp = fp_;
+    fp.mix(std::uint64_t(arrivals_->value()));
+    fp.mix(std::uint64_t(admitted_->value()));
+    fp.mix(std::uint64_t(shed_->value()));
+    fp.mix(std::uint64_t(dropped_->value()));
+    fp.mix(std::uint64_t(completed_->value()));
+    fp.mix(std::uint64_t(errors_->value()));
+    for (const auto &[key, busy] : busy_) {
+        fp.mix(std::uint64_t(key.first));
+        fp.mix(std::uint64_t(key.second));
+        fp.mix(std::uint64_t(busy.raw()));
+    }
+    return fp.digest();
+}
+
+} // namespace molecule::cluster

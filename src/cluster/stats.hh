@@ -1,0 +1,152 @@
+/**
+ * @file
+ * ClusterStats: the tail-latency scoreboard of one fleet run.
+ *
+ * Every admission decision and completion of the ClusterGateway lands
+ * here, published through the existing obs::Registry vocabulary
+ * (counters / gauges / log-bucketed histograms) so tools read cluster
+ * numbers exactly like per-invocation trace metrics:
+ *
+ *   counters   cluster.arrivals / admitted / shed / dropped /
+ *              completed / errors, cluster.queue_max_depth
+ *   gauges     cluster.queue_depth (current backlog)
+ *   histograms cluster.e2e_us (arrival -> completion, queue wait
+ *              included), cluster.queue_wait_us, cluster.exec_us
+ *
+ * Per-PU utilization is tracked exactly (busy nanoseconds per
+ * (node, pu), divided by horizon x cores at report time) rather than
+ * through bucketed histograms, and the whole scoreboard folds into an
+ * order-sensitive FNV-1a digest the golden tests pin serial and under
+ * SweepRunner.
+ */
+
+#ifndef MOLECULE_CLUSTER_STATS_HH
+#define MOLECULE_CLUSTER_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/records.hh"
+#include "obs/registry.hh"
+#include "sim/stats.hh"
+#include "sim/time.hh"
+
+namespace molecule::cluster {
+
+/** Utilization of one PU over the run horizon. */
+struct PuUtilization
+{
+    int node = 0;
+    int pu = 0;
+    /** Sum of execution time charged to this PU. */
+    sim::SimTime busy;
+    /** busy / (horizon x cores); may exceed 1 transiently when more
+     * instances than cores overlap (cores queue, execution spans
+     * include the overlap). */
+    double utilization = 0.0;
+};
+
+/** Snapshot of the scoreboard (one row of a rate-ladder table). */
+struct ClusterSummary
+{
+    std::int64_t arrivals = 0;
+    std::int64_t admitted = 0;
+    /** Rejected by the token bucket (rate policing). */
+    std::int64_t shed = 0;
+    /** Evicted from the bounded queue (backlog overflow). */
+    std::int64_t dropped = 0;
+    std::int64_t completed = 0;
+    /** Typed invocation errors (NoCapacity under overload, faults). */
+    std::int64_t errors = 0;
+    std::int64_t queueMaxDepth = 0;
+    /** Completions per simulated second. */
+    double throughputPerSecond = 0.0;
+    /** End-to-end latency percentiles, microseconds. */
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    double p999Us = 0.0;
+    double meanUs = 0.0;
+    double queueWaitP99Us = 0.0;
+    std::vector<PuUtilization> utilization;
+};
+
+/**
+ * Scoreboard over one run; owns nothing, writes into the registry the
+ * caller provides (one registry per replica keeps SweepRunner runs
+ * isolated).
+ */
+class ClusterStats
+{
+  public:
+    explicit ClusterStats(obs::Registry &registry);
+
+    obs::Registry &registry() { return reg_; }
+
+    /** @name Gateway feed (one call per event, in event order) */
+    ///@{
+    void onArrival() { arrivals_->inc(); }
+
+    void onShed();
+
+    void onDropped();
+
+    void onAdmitted() { admitted_->inc(); }
+
+    void onQueueDepth(std::size_t depth);
+
+    void onDispatched(sim::SimTime queueWait);
+
+    /** A completed invocation served on (node, rec.pu). */
+    void onCompleted(int node, const obs::InvocationRecord &rec,
+                     sim::SimTime endToEnd);
+
+    /** A typed failure (the arrival was admitted but not served). */
+    void onError(int node, std::uint8_t errc);
+    ///@}
+
+    /** Busy-time charge for utilization (normally via onCompleted). */
+    void charge(int node, int pu, sim::SimTime busy);
+
+    /**
+     * Summarize the scoreboard over @p horizon. @p cores maps flat
+     * (node, pu) pairs to core counts for utilization; pass the
+     * fleet's table (see Fleet::coreTable).
+     */
+    ClusterSummary
+    summarize(sim::SimTime horizon,
+              const std::map<std::pair<int, int>, int> &cores) const;
+
+    /**
+     * Order-sensitive digest of everything recorded so far: every
+     * completion (latency, node, pu) and error in arrival order plus
+     * the final counters. Bit-identical across replays of the same
+     * scenario — the cluster golden the determinism tests pin.
+     */
+    std::uint64_t digest() const;
+
+  private:
+    obs::Registry &reg_;
+    obs::Counter *arrivals_;
+    obs::Counter *admitted_;
+    obs::Counter *shed_;
+    obs::Counter *dropped_;
+    obs::Counter *completed_;
+    obs::Counter *errors_;
+    obs::Counter *queueMax_;
+    obs::Gauge *queueDepth_;
+    obs::Histogram *e2eUs_;
+    obs::Histogram *queueWaitUs_;
+    obs::Histogram *execUs_;
+
+    /** Exact busy nanoseconds per (node, pu). */
+    std::map<std::pair<int, int>, sim::SimTime> busy_;
+
+    sim::Fingerprint fp_;
+};
+
+} // namespace molecule::cluster
+
+#endif // MOLECULE_CLUSTER_STATS_HH

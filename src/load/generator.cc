@@ -1,0 +1,255 @@
+#include "load/generator.hh"
+
+#include <cmath>
+
+#include "sim/simulation.hh"
+#include "sim/stats.hh"
+
+namespace molecule::load {
+
+namespace {
+
+/** Distinct sub-stream tags so the three seeded RNGs never alias. */
+constexpr std::uint64_t kStreamSalt = 0x6c6f6164ULL;  // "load"
+constexpr std::uint64_t kPermSalt = 0x7065726dULL;    // "perm"
+
+constexpr double kPi = 3.14159265358979323846;
+
+/** Zipf CDF over @p n popularity ranks with exponent @p s. */
+std::vector<double>
+zipfCdf(std::size_t n, double s)
+{
+    std::vector<double> cdf(n, 0.0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        total += std::pow(double(i + 1), -s);
+        cdf[i] = total;
+    }
+    for (auto &c : cdf)
+        c /= total;
+    return cdf;
+}
+
+/** Index of the first CDF entry >= u (inverse-transform sampling). */
+std::uint32_t
+sampleCdf(const std::vector<double> &cdf, double u)
+{
+    std::size_t lo = 0, hi = cdf.size() - 1;
+    while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (cdf[mid] < u)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    return std::uint32_t(lo);
+}
+
+} // namespace
+
+OpenLoopGenerator::OpenLoopGenerator(TraceSpec spec)
+    : spec_(std::move(spec)), rng_(spec_.seed ^ kStreamSalt)
+{
+    buildTables();
+    reset();
+}
+
+void
+OpenLoopGenerator::buildTables()
+{
+    // The implicit tenant when the mix is empty.
+    std::vector<TenantSpec> tenants = spec_.tenants;
+    if (tenants.empty())
+        tenants.push_back(TenantSpec{"default", 1.0, 1.1, 0});
+
+    double totalShare = 0.0;
+    for (const auto &t : tenants)
+        totalShare += t.share > 0.0 ? t.share : 0.0;
+    if (totalShare <= 0.0)
+        totalShare = 1.0;
+
+    double acc = 0.0;
+    tenantCdf_.clear();
+    for (const auto &t : tenants) {
+        acc += (t.share > 0.0 ? t.share : 0.0) / totalShare;
+        tenantCdf_.push_back(acc);
+    }
+    if (!tenantCdf_.empty())
+        tenantCdf_.back() = 1.0;
+
+    const std::size_t n = spec_.functions.size();
+    fnCdf_.clear();
+    fnRank_.clear();
+    for (const auto &t : tenants) {
+        fnCdf_.push_back(n > 0 ? zipfCdf(n, t.zipfExponent)
+                               : std::vector<double>{});
+        // Tenant-private ranking: a Fisher-Yates shuffle from a
+        // salt-derived RNG, independent of the arrival stream. Equal
+        // salts share a ranking (the single-tenant default).
+        std::vector<std::uint32_t> rank(n);
+        for (std::uint32_t i = 0; i < n; ++i)
+            rank[i] = i;
+        sim::Rng perm(spec_.seed ^ t.permuteSalt ^ kPermSalt);
+        for (std::size_t i = n; i > 1; --i) {
+            const auto j =
+                std::size_t(perm.uniformInt(0, std::int64_t(i) - 1));
+            std::swap(rank[i - 1], rank[j]);
+        }
+        fnRank_.push_back(std::move(rank));
+    }
+}
+
+void
+OpenLoopGenerator::reset()
+{
+    rng_ = sim::Rng(spec_.seed ^ kStreamSalt);
+    clock_ = sim::SimTime(0);
+    emitted_ = 0;
+    inBurst_ = false;
+    dwellEnd_ = sim::SimTime(0);
+    if (spec_.arrival == ArrivalKind::Mmpp &&
+        spec_.meanDwellBase.raw() > 0 && spec_.meanDwellBurst.raw() > 0)
+        dwellEnd_ = sim::SimTime::fromSeconds(
+            rng_.exponential(spec_.meanDwellBase.toSeconds()));
+}
+
+sim::SimTime
+OpenLoopGenerator::nextGap()
+{
+    const double rate = spec_.ratePerSecond;
+    switch (spec_.arrival) {
+    case ArrivalKind::Mmpp: {
+        // Degenerate dwell parameters collapse to plain Poisson.
+        if (spec_.meanDwellBase.raw() <= 0 ||
+            spec_.meanDwellBurst.raw() <= 0)
+            break;
+        const sim::SimTime start = clock_;
+        sim::SimTime at = clock_;
+        for (;;) {
+            const double r =
+                inBurst_ ? rate * spec_.burstFactor : rate;
+            const sim::SimTime dt =
+                sim::SimTime::fromSeconds(rng_.exponential(1.0 / r));
+            if (at + dt <= dwellEnd_)
+                return at + dt - start;
+            // The dwell ends before the candidate fires: jump to the
+            // state switch and resample there — exact thanks to the
+            // exponential's memorylessness.
+            at = dwellEnd_;
+            if (at >= spec_.duration)
+                return at - start; // past the horizon; next() ends
+            inBurst_ = !inBurst_;
+            const sim::SimTime dwellMean = inBurst_
+                                               ? spec_.meanDwellBurst
+                                               : spec_.meanDwellBase;
+            dwellEnd_ = at + sim::SimTime::fromSeconds(
+                                 rng_.exponential(
+                                     dwellMean.toSeconds()));
+        }
+    }
+    case ArrivalKind::Diurnal: {
+        if (spec_.diurnalPeriod.raw() <= 0 ||
+            spec_.diurnalAmplitude <= 0.0)
+            break;
+        // Lewis-Shedler thinning against the peak rate.
+        const double amp = spec_.diurnalAmplitude;
+        const double peak = rate * (1.0 + amp);
+        const sim::SimTime start = clock_;
+        sim::SimTime at = clock_;
+        for (;;) {
+            at += sim::SimTime::fromSeconds(
+                rng_.exponential(1.0 / peak));
+            if (at >= spec_.duration)
+                return at - start;
+            const double phase = 2.0 * kPi * at.toSeconds() /
+                                 spec_.diurnalPeriod.toSeconds();
+            const double lambda =
+                rate * (1.0 + amp * std::sin(phase));
+            if (rng_.uniform() * peak <= lambda)
+                return at - start;
+        }
+    }
+    case ArrivalKind::Poisson:
+        break;
+    }
+    return sim::SimTime::fromSeconds(rng_.exponential(1.0 / rate));
+}
+
+std::uint32_t
+OpenLoopGenerator::sampleTenant()
+{
+    if (tenantCdf_.size() <= 1)
+        return 0;
+    return sampleCdf(tenantCdf_, rng_.uniform());
+}
+
+std::uint32_t
+OpenLoopGenerator::sampleFunction(std::uint32_t tenant)
+{
+    const auto &cdf = fnCdf_[tenant];
+    if (cdf.size() <= 1)
+        return 0;
+    const std::uint32_t rank = sampleCdf(cdf, rng_.uniform());
+    return fnRank_[tenant][rank];
+}
+
+bool
+OpenLoopGenerator::next(Arrival &out)
+{
+    if (clock_ >= spec_.duration || spec_.ratePerSecond <= 0.0)
+        return false;
+    clock_ += nextGap();
+    if (clock_ >= spec_.duration)
+        return false;
+    out.at = clock_;
+    // Fixed draw order per arrival (gap, tenant, function) — part of
+    // the bit-for-bit stream contract.
+    out.tenant = sampleTenant();
+    out.fn = sampleFunction(out.tenant);
+    ++emitted_;
+    return true;
+}
+
+std::vector<Arrival>
+OpenLoopGenerator::generate()
+{
+    std::vector<Arrival> out;
+    out.reserve(std::size_t(spec_.expectedArrivals() * 1.1) + 16);
+    Arrival a;
+    while (next(a))
+        out.push_back(a);
+    return out;
+}
+
+std::uint64_t
+streamDigest(const TraceSpec &spec)
+{
+    OpenLoopGenerator gen(spec);
+    sim::Fingerprint fp;
+    Arrival a;
+    while (gen.next(a)) {
+        fp.mix(std::uint64_t(a.at.raw()));
+        fp.mix(a.fn);
+        fp.mix(a.tenant);
+    }
+    fp.mix(gen.emitted());
+    return fp.digest();
+}
+
+sim::Task<>
+drive(sim::Simulation &sim, OpenLoopGenerator &gen, ArrivalSink &sink)
+{
+    // Boot work may already have advanced the clock; the stream's t=0
+    // is wherever the simulation stands when driving starts.
+    const sim::SimTime epoch = sim.now();
+    Arrival a;
+    while (gen.next(a)) {
+        const sim::SimTime at = epoch + a.at;
+        if (at > sim.now())
+            co_await sim.delay(at - sim.now());
+        a.at = at;
+        sink.onArrival(a);
+    }
+}
+
+} // namespace molecule::load

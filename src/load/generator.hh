@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Seeded open-loop invocation-stream generator.
+ *
+ * Serverless traffic is open-loop: users fire requests on their own
+ * schedule, indifferent to whether the platform keeps up — which is
+ * exactly what saturates a cluster and exposes tail latency. The
+ * OpenLoopGenerator turns a TraceSpec into such a stream: arrival
+ * instants from the spec's arrival process (Poisson, two-state MMPP,
+ * diurnal-modulated), a tenant drawn from the share-weighted mix, and
+ * a function drawn from the tenant's Zipf-skewed private ranking of
+ * the shared catalog (production traces — Shahrad et al., "Serverless
+ * in the Wild" — show exactly this shape).
+ *
+ * The generator is streaming (O(1) memory per arrival) and a pure
+ * function of its spec: no wall clock, no simulation RNG, the same
+ * bit-exact stream serial or on any sim::SweepRunner thread. Replays
+ * are free — construct another generator from the same spec.
+ */
+
+#ifndef MOLECULE_LOAD_GENERATOR_HH
+#define MOLECULE_LOAD_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "load/spec.hh"
+#include "sim/random.hh"
+#include "sim/task.hh"
+#include "sim/time.hh"
+
+namespace molecule::sim {
+class Simulation;
+}
+
+namespace molecule::load {
+
+/** One invocation request of the stream. */
+struct Arrival
+{
+    /** Absolute arrival instant (sim time since stream start). */
+    sim::SimTime at;
+    /** Index into TraceSpec::functions. */
+    std::uint32_t fn = 0;
+    /** Index into TraceSpec::tenants (0 for the implicit tenant). */
+    std::uint32_t tenant = 0;
+
+    bool operator==(const Arrival &) const = default;
+};
+
+/**
+ * Streaming generator over one TraceSpec.
+ */
+class OpenLoopGenerator
+{
+  public:
+    explicit OpenLoopGenerator(TraceSpec spec);
+
+    const TraceSpec &spec() const { return spec_; }
+
+    /**
+     * Produce the next arrival. Arrival instants are non-decreasing
+     * and confined to [0, spec().duration).
+     * @retval false the stream is exhausted (past the horizon).
+     */
+    bool next(Arrival &out);
+
+    /** Arrivals emitted so far. */
+    std::uint64_t emitted() const { return emitted_; }
+
+    /** Rewind to the start of the stream (bit-identical replay). */
+    void reset();
+
+    /** Materialize the remaining stream (tests and small traces). */
+    std::vector<Arrival> generate();
+
+  private:
+    /** Sample the next inter-arrival gap from `clock_`. */
+    sim::SimTime nextGap();
+
+    /** Tenant index from the share-weighted CDF. */
+    std::uint32_t sampleTenant();
+
+    /** Function index from @p tenant's permuted Zipf ranking. */
+    std::uint32_t sampleFunction(std::uint32_t tenant);
+
+    void buildTables();
+
+    TraceSpec spec_;
+    sim::Rng rng_;
+    sim::SimTime clock_{0};
+    std::uint64_t emitted_ = 0;
+
+    /** MMPP state: in-burst flag and the instant the dwell ends. */
+    bool inBurst_ = false;
+    sim::SimTime dwellEnd_{0};
+
+    /** Share-weighted tenant CDF (empty for the implicit tenant). */
+    std::vector<double> tenantCdf_;
+    /** Per-tenant Zipf CDF over popularity ranks. */
+    std::vector<std::vector<double>> fnCdf_;
+    /** Per-tenant rank -> function-index permutation. */
+    std::vector<std::vector<std::uint32_t>> fnRank_;
+};
+
+/**
+ * Order-sensitive FNV-1a digest of the full stream of @p spec
+ * (instant, function, tenant per arrival, then the count). The golden
+ * tests pin these digests serial and under SweepRunner.
+ */
+std::uint64_t streamDigest(const TraceSpec &spec);
+
+/** Consumer interface for replaying a stream inside a simulation. */
+class ArrivalSink
+{
+  public:
+    virtual ~ArrivalSink() = default;
+
+    /** Called at sim-time `a.at` for every arrival, in stream order. */
+    virtual void onArrival(const Arrival &a) = 0;
+};
+
+/**
+ * Coroutine that replays @p gen against @p sink in simulated time:
+ * one pending DES event at a time, so million-arrival streams cost
+ * O(1) queue space. Stream time is rebased onto the clock at spawn
+ * (boot work may already have advanced it); the sink sees absolute
+ * arrival instants. Spawn it on @p sim; the caller keeps the
+ * generator and sink alive until the simulation drains.
+ */
+sim::Task<> drive(sim::Simulation &sim, OpenLoopGenerator &gen,
+                  ArrivalSink &sink);
+
+} // namespace molecule::load
+
+#endif // MOLECULE_LOAD_GENERATOR_HH

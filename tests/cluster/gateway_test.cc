@@ -1,0 +1,230 @@
+/**
+ * @file
+ * ClusterGateway: dispatch-policy picks, token-bucket shedding,
+ * bounded-queue drop policies, arrival accounting conservation and
+ * digest reproducibility.
+ */
+
+#include "cluster/gateway.hh"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace molecule;
+using cluster::AdmissionOptions;
+using cluster::ClusterGateway;
+using cluster::ClusterStats;
+using cluster::DropPolicy;
+using cluster::Fleet;
+using cluster::FleetSpec;
+using load::Arrival;
+using sim::SimTime;
+
+Arrival
+arrival(std::uint32_t fn = 0)
+{
+    Arrival a;
+    a.fn = fn;
+    return a;
+}
+
+TEST(DispatchPolicyTest, RoundRobinRotatesAndSkipsFullNodes)
+{
+    cluster::RoundRobinPolicy p;
+    const int out1[] = {0, 0, 0};
+    EXPECT_EQ(p.pick(arrival(), out1, 4), 0);
+    EXPECT_EQ(p.pick(arrival(), out1, 4), 1);
+    EXPECT_EQ(p.pick(arrival(), out1, 4), 2);
+    EXPECT_EQ(p.pick(arrival(), out1, 4), 0);
+    const int out2[] = {1, 4, 0}; // node 1 at cap
+    EXPECT_EQ(p.pick(arrival(), out2, 4), 2);
+    EXPECT_EQ(p.pick(arrival(), out2, 4), 0);
+    const int full[] = {4, 4, 4};
+    EXPECT_EQ(p.pick(arrival(), full, 4), -1);
+}
+
+TEST(DispatchPolicyTest, LeastOutstandingPicksArgminLowestIdTies)
+{
+    cluster::LeastOutstandingPolicy p;
+    const int out[] = {3, 1, 1, 2};
+    EXPECT_EQ(p.pick(arrival(), out, 4), 1);
+    const int tied[] = {2, 2, 2};
+    EXPECT_EQ(p.pick(arrival(), tied, 4), 0);
+    const int full[] = {4, 4};
+    EXPECT_EQ(p.pick(arrival(), full, 4), -1);
+}
+
+TEST(DispatchPolicyTest, WarmAffinityKeepsAFunctionHome)
+{
+    cluster::WarmAffinityPolicy p;
+    const int balanced[] = {1, 0, 0};
+    // First sight of fn 7: least-outstanding, adopted as home.
+    EXPECT_EQ(p.pick(arrival(7), balanced, 4), 1);
+    const int skewed[] = {0, 3, 3};
+    // Home node 1 is busier now but not full: stay home.
+    EXPECT_EQ(p.pick(arrival(7), skewed, 4), 1);
+    const int homeFull[] = {0, 4, 3};
+    // Home at cap: fall back and adopt the fallback.
+    EXPECT_EQ(p.pick(arrival(7), homeFull, 4), 0);
+    EXPECT_EQ(p.pick(arrival(7), balanced, 4), 0);
+}
+
+struct Harness
+{
+    sim::Simulation sim;
+    Fleet fleet;
+    obs::Registry registry;
+    ClusterStats stats;
+    cluster::LeastOutstandingPolicy policy;
+
+    explicit Harness(int nodes = 2, std::uint64_t seed = 42)
+        : sim(seed), fleet(sim, spec(nodes)), stats(registry)
+    {
+        fleet.registerCpuFunction(
+            "helloworld", {hw::PuType::HostCpu, hw::PuType::Dpu});
+        fleet.registerCpuFunction(
+            "pyaes", {hw::PuType::HostCpu, hw::PuType::Dpu});
+        fleet.start();
+    }
+
+    static FleetSpec
+    spec(int nodes)
+    {
+        FleetSpec s;
+        s.nodes = nodes;
+        s.dpusPerNode = 1;
+        return s;
+    }
+
+    cluster::ClusterSummary
+    run(const AdmissionOptions &admission, double ratePerSecond,
+        double seconds, std::uint64_t seed = 42)
+    {
+        ClusterGateway gateway(fleet, {"helloworld", "pyaes"},
+                               admission, policy, stats);
+        load::TraceSpec trace;
+        trace.seed = seed;
+        trace.ratePerSecond = ratePerSecond;
+        trace.duration = SimTime::fromSeconds(seconds);
+        trace.functions = {"helloworld", "pyaes"};
+        load::OpenLoopGenerator gen(trace);
+        const SimTime t0 = sim.now();
+        sim.spawn(load::drive(sim, gen, gateway));
+        sim.run();
+        EXPECT_TRUE(gateway.idle());
+        return stats.summarize(sim.now() - t0, fleet.coreTable());
+    }
+};
+
+TEST(ClusterGatewayTest, ServesEverythingBelowTheAdmittedRate)
+{
+    Harness h;
+    AdmissionOptions admission;
+    admission.tokensPerSecond = 200.0;
+    admission.bucketCapacity = 100.0;
+    const auto s = h.run(admission, 50.0, 4.0);
+    EXPECT_GT(s.arrivals, 0);
+    EXPECT_EQ(s.shed, 0);
+    EXPECT_EQ(s.dropped, 0);
+    EXPECT_EQ(s.errors, 0);
+    EXPECT_EQ(s.completed, s.arrivals);
+    EXPECT_GT(s.p50Us, 0.0);
+    EXPECT_LE(s.p50Us, s.p99Us);
+    EXPECT_LE(s.p99Us, s.p999Us);
+}
+
+TEST(ClusterGatewayTest, TokenBucketShedsAboveTheAdmittedRate)
+{
+    Harness h;
+    AdmissionOptions admission;
+    admission.tokensPerSecond = 50.0;
+    admission.bucketCapacity = 10.0;
+    const auto s = h.run(admission, 400.0, 4.0);
+    EXPECT_GT(s.shed, 0);
+    EXPECT_EQ(s.arrivals, s.admitted + s.shed + s.dropped);
+    EXPECT_EQ(s.admitted, s.completed + s.errors);
+    // Admitted rate hugs the bucket rate (plus the initial burst).
+    EXPECT_NEAR(double(s.admitted), 50.0 * 4.0 + 10.0,
+                0.15 * double(s.admitted));
+}
+
+TEST(ClusterGatewayTest, UnlimitedBucketNeverSheds)
+{
+    Harness h;
+    AdmissionOptions admission;
+    admission.tokensPerSecond = 0.0; // disabled
+    const auto s = h.run(admission, 300.0, 2.0);
+    EXPECT_EQ(s.shed, 0);
+    EXPECT_EQ(s.completed + s.errors, s.arrivals);
+}
+
+TEST(ClusterGatewayTest, BoundedQueueDropsNewestWhenFull)
+{
+    Harness h;
+    AdmissionOptions admission;
+    admission.maxOutstandingPerNode = 1;
+    admission.queueCapacity = 4;
+    admission.dropPolicy = DropPolicy::DropNewest;
+    const auto s = h.run(admission, 400.0, 2.0);
+    EXPECT_GT(s.dropped, 0);
+    EXPECT_LE(s.queueMaxDepth, 4);
+    EXPECT_EQ(s.arrivals, s.admitted + s.shed + s.dropped);
+    EXPECT_EQ(s.admitted, s.completed + s.errors);
+}
+
+TEST(ClusterGatewayTest, DropOldestEvictsButStillServesTheBound)
+{
+    Harness h;
+    AdmissionOptions admission;
+    admission.maxOutstandingPerNode = 1;
+    admission.queueCapacity = 4;
+    admission.dropPolicy = DropPolicy::DropOldest;
+    const auto s = h.run(admission, 400.0, 2.0);
+    EXPECT_GT(s.dropped, 0);
+    EXPECT_LE(s.queueMaxDepth, 4);
+    EXPECT_EQ(s.arrivals, s.admitted + s.shed + s.dropped);
+}
+
+TEST(ClusterGatewayTest, QueueWaitShowsUpInTheScoreboard)
+{
+    Harness h;
+    AdmissionOptions admission;
+    admission.maxOutstandingPerNode = 1;
+    admission.queueCapacity = 256;
+    const auto s = h.run(admission, 200.0, 2.0);
+    EXPECT_GT(s.queueMaxDepth, 0);
+    EXPECT_GT(s.queueWaitP99Us, 0.0);
+}
+
+TEST(ClusterGatewayTest, DigestsReproduceAcrossIdenticalRuns)
+{
+    auto digest = [](std::uint64_t seed) {
+        Harness h(2, seed);
+        AdmissionOptions admission;
+        admission.tokensPerSecond = 100.0;
+        h.run(admission, 150.0, 2.0, seed);
+        return h.stats.digest();
+    };
+    EXPECT_EQ(digest(42), digest(42));
+    EXPECT_NE(digest(42), digest(43));
+}
+
+TEST(ClusterGatewayTest, UtilizationIsChargedPerPu)
+{
+    Harness h;
+    AdmissionOptions admission;
+    const auto s = h.run(admission, 100.0, 2.0);
+    ASSERT_FALSE(s.utilization.empty());
+    double total = 0.0;
+    for (const auto &u : s.utilization) {
+        EXPECT_GE(u.node, 0);
+        EXPECT_LT(u.node, h.fleet.size());
+        total += u.utilization;
+    }
+    EXPECT_GT(total, 0.0);
+}
+
+} // namespace

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Property tests for the load module (alongside prop_sweep_test):
+ * randomized TraceSpecs round-trip through serialize/parse exactly,
+ * and their streams are bit-identical across SweepRunner replicas.
+ */
+
+#include <gtest/gtest.h>
+
+#include "load/generator.hh"
+#include "sim/random.hh"
+#include "sim/sweep.hh"
+
+namespace {
+
+using namespace molecule;
+using load::ArrivalKind;
+using load::TraceSpec;
+using sim::SimTime;
+
+/** A randomized but valid spec, derived purely from @p rng. */
+TraceSpec
+randomSpec(sim::Rng &rng)
+{
+    TraceSpec spec;
+    spec.seed = std::uint64_t(rng.uniformInt(0, 1 << 20));
+    spec.ratePerSecond = 50.0 + rng.uniform() * 5000.0;
+    spec.duration =
+        SimTime::fromSeconds(0.1 + rng.uniform() * 2.0);
+    spec.arrival = static_cast<ArrivalKind>(rng.uniformInt(0, 2));
+    spec.burstFactor = 1.0 + rng.uniform() * 15.0;
+    spec.meanDwellBase =
+        SimTime::fromSeconds(0.05 + rng.uniform() * 2.0);
+    spec.meanDwellBurst =
+        SimTime::fromSeconds(0.01 + rng.uniform() * 0.5);
+    spec.diurnalAmplitude = rng.uniform() * 0.95;
+    spec.diurnalPeriod =
+        SimTime::fromSeconds(0.2 + rng.uniform() * 5.0);
+    const int fns = int(rng.uniformInt(0, 12));
+    for (int i = 0; i < fns; ++i)
+        spec.functions.push_back("fn-" + std::to_string(i));
+    const int tenants = int(rng.uniformInt(0, 4));
+    for (int i = 0; i < tenants; ++i) {
+        load::TenantSpec t;
+        t.name = "tenant-" + std::to_string(i);
+        t.share = 0.1 + rng.uniform() * 5.0;
+        t.zipfExponent = rng.uniform() * 2.0;
+        t.permuteSalt = std::uint64_t(rng.uniformInt(0, 1 << 16));
+        spec.tenants.push_back(t);
+    }
+    return spec;
+}
+
+TEST(LoadPropertyTest, RandomSpecsRoundTripExactly)
+{
+    sim::Rng rng(20260808);
+    for (int trial = 0; trial < 200; ++trial) {
+        const TraceSpec spec = randomSpec(rng);
+        const auto parsed = TraceSpec::parse(spec.serialize());
+        ASSERT_TRUE(parsed.ok())
+            << "trial " << trial << ": " << parsed.error().detail();
+        ASSERT_TRUE(parsed.value() == spec)
+            << "trial " << trial << " did not round-trip:\n"
+            << spec.serialize();
+        // The reparsed spec generates the identical stream.
+        ASSERT_EQ(load::streamDigest(parsed.value()),
+                  load::streamDigest(spec))
+            << "trial " << trial;
+    }
+}
+
+TEST(LoadPropertyTest, StreamsAreBitIdenticalUnderSweepRunner)
+{
+    // A spread of specs covering all three arrival processes.
+    sim::Rng rng(4242);
+    std::vector<TraceSpec> specs;
+    for (int i = 0; i < 24; ++i)
+        specs.push_back(randomSpec(rng));
+
+    std::vector<std::uint64_t> serial;
+    serial.reserve(specs.size());
+    for (const auto &spec : specs)
+        serial.push_back(load::streamDigest(spec));
+
+    sim::SweepRunner pool;
+    const auto threaded = pool.map<std::uint64_t>(
+        specs.size(),
+        [&](std::size_t i) { return load::streamDigest(specs[i]); });
+
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], threaded[i])
+            << "spec " << i << " arrival "
+            << load::toString(specs[i].arrival);
+}
+
+TEST(LoadPropertyTest, OneSpecManyReplicasAgree)
+{
+    sim::Rng rng(777);
+    const TraceSpec spec = randomSpec(rng);
+    const std::uint64_t expected = load::streamDigest(spec);
+
+    sim::SweepRunner pool;
+    const auto digests = pool.map<std::uint64_t>(
+        32, [&](std::size_t) { return load::streamDigest(spec); });
+    for (std::uint64_t d : digests)
+        EXPECT_EQ(d, expected);
+}
+
+} // namespace

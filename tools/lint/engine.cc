@@ -204,8 +204,10 @@ layeringRanks()
         {"hw", 2},        {"os", 3},     {"xpu", 4},
         {"sandbox", 5},   // runc/runf/rung over os+hw
         {"workloads", 6}, // calibrated cost models over sandbox images
-        {"core", 7},      // control plane composing everything below
-        {"fault", 8},     // chaos layer: hooks into every layer
+        {"load", 7},      // open-loop stream generator over sim only
+        {"core", 8},      // control plane composing everything below
+        {"fault", 9},     // chaos layer: hooks into every layer
+        {"cluster", 10},  // fleet + gateway over core and load
     };
 }
 

@@ -4,8 +4,12 @@
  *
  * The sanctioned module DAG (DESIGN.md §7), lowest layer first:
  *
- *   sim -> obs -> hw -> os -> xpu -> sandbox -> workloads -> core
- *       -> fault
+ *   sim -> obs -> hw -> os -> xpu -> sandbox -> workloads -> load
+ *       -> core -> fault -> cluster
+ *
+ * (load sits above workloads only by rank — it depends on sim alone;
+ * cluster tops the stack: it composes core runtimes and load streams
+ * into multi-computer fleets.)
  *
  * A file under src/<mod>/ may include "other/..." only when `other`
  * sits at the same or a lower rank — lower layers can never include
