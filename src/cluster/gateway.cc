@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/flight_recorder.hh"
 #include "sim/simulation.hh"
 
 namespace molecule::cluster {
@@ -90,11 +91,11 @@ ClusterGateway::refill()
 void
 ClusterGateway::onArrival(const load::Arrival &a)
 {
-    stats_.onArrival();
+    stats_.onArrival(int(a.tenant));
     if (opts_.tokensPerSecond > 0.0) {
         refill();
         if (tokens_ < 1.0) {
-            stats_.onShed();
+            stats_.onShed(int(a.tenant));
             return;
         }
         tokens_ -= 1.0;
@@ -106,9 +107,14 @@ ClusterGateway::onArrival(const load::Arrival &a)
         return;
     }
     if (queue_.size() >= opts_.queueCapacity) {
-        stats_.onDropped();
-        if (opts_.dropPolicy == DropPolicy::DropNewest)
+        if (opts_.dropPolicy == DropPolicy::DropNewest) {
+            stats_.onDropped(int(a.tenant));
             return; // the new arrival is the casualty
+        }
+        // DropOldest: the evicted front takes the drop, under its
+        // own tenant — not the arrival that displaced it.
+        stats_.onDropped(int(queue_.empty() ? a.tenant
+                                            : queue_.front().tenant));
         if (!queue_.empty())
             queue_.pop_front();
     }
@@ -134,7 +140,7 @@ ClusterGateway::pump()
 void
 ClusterGateway::dispatch(const load::Arrival &a, int node)
 {
-    stats_.onAdmitted();
+    stats_.onAdmitted(int(a.tenant));
     stats_.onDispatched(fleet_.simulation().now() - a.at);
     ++outstanding_[std::size_t(node)];
     fleet_.simulation().spawn(serve(a, node));
@@ -146,10 +152,18 @@ ClusterGateway::serve(load::Arrival a, int node)
     auto result = co_await fleet_.node(node).invoke(
         functions_.at(a.fn), opts_.invoke);
     sim::Simulation &sim = fleet_.simulation();
-    if (result.ok())
-        stats_.onCompleted(node, result.value(), sim.now() - a.at);
-    else
-        stats_.onError(node, std::uint8_t(result.error().code()));
+    if (result.ok()) {
+        stats_.onCompleted(node, result.value(), sim.now() - a.at,
+                           int(a.tenant));
+    } else {
+        stats_.onError(node, std::uint8_t(result.error().code()),
+                       int(a.tenant));
+        // A hang is the black-box moment: the watchdog just caught a
+        // wedged node, so freeze the evidence before the cascade.
+        if (recorder_ != nullptr &&
+            result.error().code() == core::Errc::Hang)
+            recorder_->trigger("errc.hang", sim.now());
+    }
     --outstanding_[std::size_t(node)];
     policy_.onComplete(a, node);
     pump();

@@ -39,6 +39,10 @@
 #include "cluster/stats.hh"
 #include "load/generator.hh"
 
+namespace molecule::obs {
+class FlightRecorder;
+}
+
 namespace molecule::cluster {
 
 /** What the bounded queue evicts when it overflows. */
@@ -178,6 +182,14 @@ class ClusterGateway final : public load::ArrivalSink
 
     DispatchPolicy &policy() { return policy_; }
 
+    /** Dump a post-mortem bundle when a served invocation hangs
+     * (Errc::Hang — the watchdog caught a wedged node). Null (the
+     * default, and always in telemetry-off builds) disables it. */
+    void setFlightRecorder(obs::FlightRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
   private:
     /** Lazy token-bucket refill up to the burst capacity. */
     void refill();
@@ -195,6 +207,7 @@ class ClusterGateway final : public load::ArrivalSink
     AdmissionOptions opts_;
     DispatchPolicy &policy_;
     ClusterStats &stats_;
+    obs::FlightRecorder *recorder_ = nullptr;
 
     double tokens_;
     sim::SimTime lastRefill_{0};

@@ -21,17 +21,97 @@ ClusterStats::ClusterStats(obs::Registry &registry)
 }
 
 void
-ClusterStats::onShed()
+ClusterStats::attachTelemetry(obs::TimeSeries *ts)
 {
-    shed_->inc();
-    fp_.mix(0x5348ULL); // "SH"
+    ts_ = ts;
+    if (ts_ == nullptr)
+        return;
+    ts_->watch(reg_);
+    tsQueueDepth_ = ts_->gaugeId("gateway.queue_depth");
+    // Tenants/nodes touched before attachment get their series now;
+    // later ones get theirs on first touch.
+    for (auto &[t, state] : tenants_) {
+        (void)state;
+        tenant(t);
+    }
+    for (auto &[n, state] : nodes_) {
+        (void)state;
+        node(n);
+    }
+}
+
+ClusterStats::TenantState &
+ClusterStats::tenant(int t)
+{
+    TenantState &s = tenants_[t];
+    if (ts_ != nullptr && !s.tsReady) {
+        s.tsReady = true;
+        s.tsArrivals = ts_->counterId("tenant.arrivals", t);
+        s.tsAdmitted = ts_->counterId("tenant.admitted", t);
+        s.tsShed = ts_->counterId("tenant.shed", t);
+        s.tsDropped = ts_->counterId("tenant.dropped", t);
+        s.tsCompleted = ts_->counterId("tenant.completed", t);
+        s.tsErrors = ts_->counterId("tenant.errors", t);
+        s.tsE2eUs = ts_->histogramId("tenant.e2e_us", t);
+    }
+    return s;
+}
+
+ClusterStats::NodeState &
+ClusterStats::node(int n)
+{
+    NodeState &s = nodes_[n];
+    if (ts_ != nullptr && !s.tsReady) {
+        s.tsReady = true;
+        s.tsCompleted = ts_->counterId("node.completed", -1, n);
+        s.tsErrors = ts_->counterId("node.errors", -1, n);
+        s.tsExecUs = ts_->histogramId("node.exec_us", -1, n);
+    }
+    return s;
 }
 
 void
-ClusterStats::onDropped()
+ClusterStats::onArrival(int t)
+{
+    arrivals_->inc();
+    TenantState &s = tenant(t);
+    ++s.arrivals;
+    if (ts_ != nullptr)
+        ts_->count(s.tsArrivals);
+}
+
+void
+ClusterStats::onShed(int t)
+{
+    shed_->inc();
+    fp_.mix(0x5348ULL); // "SH"
+    fp_.mix(std::uint64_t(t));
+    TenantState &s = tenant(t);
+    ++s.shed;
+    if (ts_ != nullptr)
+        ts_->count(s.tsShed);
+}
+
+void
+ClusterStats::onDropped(int t)
 {
     dropped_->inc();
     fp_.mix(0x4452ULL); // "DR"
+    fp_.mix(std::uint64_t(t));
+    TenantState &s = tenant(t);
+    ++s.dropped;
+    if (ts_ != nullptr)
+        ts_->count(s.tsDropped);
+}
+
+void
+ClusterStats::onAdmitted(int t)
+{
+    admitted_->inc();
+    TenantState &s = tenant(t);
+    ++s.admitted;
+    if (ts_ != nullptr)
+        ts_->count(s.tsAdmitted);
 }
 
 void
@@ -42,6 +122,8 @@ ClusterStats::onQueueDepth(std::size_t depth)
         queueMax_->reset();
         queueMax_->inc(std::int64_t(depth));
     }
+    if (ts_ != nullptr)
+        ts_->set(tsQueueDepth_, double(depth));
 }
 
 void
@@ -51,25 +133,44 @@ ClusterStats::onDispatched(sim::SimTime queueWait)
 }
 
 void
-ClusterStats::onCompleted(int node, const obs::InvocationRecord &rec,
-                          sim::SimTime endToEnd)
+ClusterStats::onCompleted(int n, const obs::InvocationRecord &rec,
+                          sim::SimTime endToEnd, int t)
 {
     completed_->inc();
     e2eUs_->addTime(endToEnd);
     execUs_->addTime(rec.execution);
-    charge(node, rec.pu, rec.execution);
+    charge(n, rec.pu, rec.execution);
     fp_.mix(std::uint64_t(endToEnd.raw()));
-    fp_.mix(std::uint64_t(node));
+    fp_.mix(std::uint64_t(n));
     fp_.mix(std::uint64_t(rec.pu));
+    fp_.mix(std::uint64_t(t));
+    TenantState &ts = tenant(t);
+    ++ts.completed;
+    ts.e2eUs.addTime(endToEnd);
+    NodeState &ns = node(n);
+    if (ts_ != nullptr) {
+        ts_->count(ts.tsCompleted);
+        ts_->observeTime(ts.tsE2eUs, endToEnd);
+        ts_->count(ns.tsCompleted);
+        ts_->observeTime(ns.tsExecUs, rec.execution);
+    }
 }
 
 void
-ClusterStats::onError(int node, std::uint8_t errc)
+ClusterStats::onError(int n, std::uint8_t errc, int t)
 {
     errors_->inc();
     fp_.mix(0x4552ULL); // "ER"
-    fp_.mix(std::uint64_t(node));
+    fp_.mix(std::uint64_t(n));
     fp_.mix(std::uint64_t(errc));
+    fp_.mix(std::uint64_t(t));
+    TenantState &ts = tenant(t);
+    ++ts.errors;
+    NodeState &ns = node(n);
+    if (ts_ != nullptr) {
+        ts_->count(ts.tsErrors);
+        ts_->count(ns.tsErrors);
+    }
 }
 
 void
@@ -111,6 +212,20 @@ ClusterStats::summarize(
                 busy.toSeconds() / (horizon.toSeconds() * double(n));
         s.utilization.push_back(u);
     }
+    for (const auto &[t, state] : tenants_) {
+        TenantSummary row;
+        row.tenant = t;
+        row.arrivals = state.arrivals;
+        row.admitted = state.admitted;
+        row.shed = state.shed;
+        row.dropped = state.dropped;
+        row.completed = state.completed;
+        row.errors = state.errors;
+        row.p50Us = state.e2eUs.percentile(50);
+        row.p99Us = state.e2eUs.percentile(99);
+        row.meanUs = state.e2eUs.mean();
+        s.tenants.push_back(row);
+    }
     return s;
 }
 
@@ -130,6 +245,15 @@ ClusterStats::digest() const
         fp.mix(std::uint64_t(key.first));
         fp.mix(std::uint64_t(key.second));
         fp.mix(std::uint64_t(busy.raw()));
+    }
+    for (const auto &[t, state] : tenants_) {
+        fp.mix(std::uint64_t(t));
+        fp.mix(std::uint64_t(state.arrivals));
+        fp.mix(std::uint64_t(state.admitted));
+        fp.mix(std::uint64_t(state.shed));
+        fp.mix(std::uint64_t(state.dropped));
+        fp.mix(std::uint64_t(state.completed));
+        fp.mix(std::uint64_t(state.errors));
     }
     return fp.digest();
 }

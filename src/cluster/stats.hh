@@ -31,6 +31,7 @@
 
 #include "obs/records.hh"
 #include "obs/registry.hh"
+#include "obs/timeseries.hh"
 #include "sim/stats.hh"
 #include "sim/time.hh"
 
@@ -47,6 +48,22 @@ struct PuUtilization
      * instances than cores overlap (cores queue, execution spans
      * include the overlap). */
     double utilization = 0.0;
+};
+
+/** Per-tenant slice of the scoreboard. */
+struct TenantSummary
+{
+    int tenant = 0;
+    std::int64_t arrivals = 0;
+    std::int64_t admitted = 0;
+    std::int64_t shed = 0;
+    std::int64_t dropped = 0;
+    std::int64_t completed = 0;
+    std::int64_t errors = 0;
+    /** End-to-end latency of this tenant's completions, us. */
+    double p50Us = 0.0;
+    double p99Us = 0.0;
+    double meanUs = 0.0;
 };
 
 /** Snapshot of the scoreboard (one row of a rate-ladder table). */
@@ -71,6 +88,8 @@ struct ClusterSummary
     double meanUs = 0.0;
     double queueWaitP99Us = 0.0;
     std::vector<PuUtilization> utilization;
+    /** Per-tenant attribution, ascending tenant id. */
+    std::vector<TenantSummary> tenants;
 };
 
 /**
@@ -85,15 +104,29 @@ class ClusterStats
 
     obs::Registry &registry() { return reg_; }
 
-    /** @name Gateway feed (one call per event, in event order) */
+    /**
+     * Mirror the feed into a windowed TimeSeries: per-tenant
+     * "tenant.*" series, per-node "node.*" series and the
+     * "gateway.queue_depth" gauge (label ids are the tenant/node
+     * indices — see the cardinality rule in obs/timeseries.hh). The
+     * run-total registry is watch()ed too, so the cluster.* vocabulary
+     * shows up windowed for free. Telemetry-off builds make this a
+     * no-op (the stub TimeSeries cannot be constructed, so @p ts is
+     * never non-null there). Observation only: attaching must not —
+     * and by construction cannot — change stats digests.
+     */
+    void attachTelemetry(obs::TimeSeries *ts);
+
+    /** @name Gateway feed (one call per event, in event order;
+     * @p tenant is the arrival's tenant label) */
     ///@{
-    void onArrival() { arrivals_->inc(); }
+    void onArrival(int tenant = 0);
 
-    void onShed();
+    void onShed(int tenant = 0);
 
-    void onDropped();
+    void onDropped(int tenant = 0);
 
-    void onAdmitted() { admitted_->inc(); }
+    void onAdmitted(int tenant = 0);
 
     void onQueueDepth(std::size_t depth);
 
@@ -101,10 +134,10 @@ class ClusterStats
 
     /** A completed invocation served on (node, rec.pu). */
     void onCompleted(int node, const obs::InvocationRecord &rec,
-                     sim::SimTime endToEnd);
+                     sim::SimTime endToEnd, int tenant = 0);
 
     /** A typed failure (the arrival was admitted but not served). */
-    void onError(int node, std::uint8_t errc);
+    void onError(int node, std::uint8_t errc, int tenant = 0);
     ///@}
 
     /** Busy-time charge for utilization (normally via onCompleted). */
@@ -128,6 +161,44 @@ class ClusterStats
     std::uint64_t digest() const;
 
   private:
+    /**
+     * Per-tenant slice: exact counters, a private latency histogram
+     * for the summary percentiles, and (when telemetry is attached)
+     * the tenant-labeled series ids. Tenants materialize on first
+     * touch, so the map stays as small as the traffic mix.
+     */
+    struct TenantState
+    {
+        std::int64_t arrivals = 0;
+        std::int64_t admitted = 0;
+        std::int64_t shed = 0;
+        std::int64_t dropped = 0;
+        std::int64_t completed = 0;
+        std::int64_t errors = 0;
+        obs::Histogram e2eUs;
+        bool tsReady = false;
+        std::uint32_t tsArrivals = 0;
+        std::uint32_t tsAdmitted = 0;
+        std::uint32_t tsShed = 0;
+        std::uint32_t tsDropped = 0;
+        std::uint32_t tsCompleted = 0;
+        std::uint32_t tsErrors = 0;
+        std::uint32_t tsE2eUs = 0;
+    };
+
+    /** Per-node telemetry series ids (exact totals live in busy_). */
+    struct NodeState
+    {
+        bool tsReady = false;
+        std::uint32_t tsCompleted = 0;
+        std::uint32_t tsErrors = 0;
+        std::uint32_t tsExecUs = 0;
+    };
+
+    TenantState &tenant(int t);
+
+    NodeState &node(int n);
+
     obs::Registry &reg_;
     obs::Counter *arrivals_;
     obs::Counter *admitted_;
@@ -143,6 +214,13 @@ class ClusterStats
 
     /** Exact busy nanoseconds per (node, pu). */
     std::map<std::pair<int, int>, sim::SimTime> busy_;
+
+    std::map<int, TenantState> tenants_;
+    std::map<int, NodeState> nodes_;
+
+    /** Attached collector (null: telemetry mirroring off). */
+    obs::TimeSeries *ts_ = nullptr;
+    std::uint32_t tsQueueDepth_ = 0;
 
     sim::Fingerprint fp_;
 };

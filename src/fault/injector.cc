@@ -38,6 +38,9 @@ Injector::fire(const FaultSpec &spec)
             .counter(std::string("fault.") + toString(spec.kind))
             .inc();
     }
+    if (recorder_ != nullptr)
+        recorder_->trigger(std::string("fault.") + toString(spec.kind),
+                           sim_.now());
 
     switch (spec.kind) {
     case FaultKind::PuCrash: {

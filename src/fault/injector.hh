@@ -21,6 +21,7 @@
 
 #include "fault/plan.hh"
 #include "fault/state.hh"
+#include "obs/flight_recorder.hh"
 #include "obs/trace.hh"
 #include "sim/simulation.hh"
 
@@ -53,6 +54,14 @@ class Injector
     /** Faults fired so far (restarts not counted). */
     int firedCount() const { return fired_; }
 
+    /** Every fired fault also triggers this recorder (reason
+     * "fault.<kind>"), freezing the telemetry black box at the
+     * injection instant. Null (the default) disables it. */
+    void setRecorder(obs::FlightRecorder *recorder)
+    {
+        recorder_ = recorder;
+    }
+
   private:
     void fire(const FaultSpec &spec);
 
@@ -61,6 +70,7 @@ class Injector
     sim::Simulation &sim_;
     FaultState &state_;
     obs::Tracer *tracer_;
+    obs::FlightRecorder *recorder_ = nullptr;
     /** Stable addresses: scheduled lambdas point into this deque. */
     std::deque<FaultSpec> armed_;
     int fired_ = 0;

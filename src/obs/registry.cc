@@ -77,6 +77,93 @@ Histogram::summaryLine() const
     return buf;
 }
 
+HistogramSnapshot
+Histogram::snapshotBuckets() const
+{
+    HistogramSnapshot s;
+    s.buckets.assign(buckets_.begin(), buckets_.end());
+    s.count = count_;
+    s.sum = sum_;
+    return s;
+}
+
+double
+HistogramSnapshot::percentile(double p) const
+{
+    if (count == 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    const std::uint64_t rank = std::max<std::uint64_t>(
+        1, std::uint64_t(std::ceil(p / 100.0 * double(count))));
+    std::uint64_t seen = 0;
+    for (const auto &[idx, n] : buckets) {
+        seen += n;
+        if (seen >= rank)
+            return Histogram::bucketMid(idx);
+    }
+    return buckets.empty() ? 0.0
+                           : Histogram::bucketMid(buckets.back().first);
+}
+
+std::uint64_t
+HistogramSnapshot::countAbove(double v) const
+{
+    const int limit = Histogram::bucketOf(v);
+    std::uint64_t above = 0;
+    for (const auto &[idx, n] : buckets)
+        if (idx > limit)
+            above += n;
+    return above;
+}
+
+HistogramSnapshot
+HistogramSnapshot::minus(const HistogramSnapshot &older) const
+{
+    HistogramSnapshot d;
+    d.count = count - older.count;
+    d.sum = sum - older.sum;
+    // Both bucket lists are index-sorted; a single merge walk pairs
+    // them up. A bucket absent from `older` existed only in `this`.
+    std::size_t j = 0;
+    for (const auto &[idx, n] : buckets) {
+        std::uint64_t old = 0;
+        while (j < older.buckets.size() && older.buckets[j].first < idx)
+            ++j;
+        if (j < older.buckets.size() && older.buckets[j].first == idx)
+            old = older.buckets[j].second;
+        if (n > old)
+            d.buckets.emplace_back(idx, n - old);
+    }
+    return d;
+}
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot &other)
+{
+    count += other.count;
+    sum += other.sum;
+    std::vector<std::pair<int, std::uint64_t>> merged;
+    merged.reserve(buckets.size() + other.buckets.size());
+    std::size_t i = 0, j = 0;
+    while (i < buckets.size() || j < other.buckets.size()) {
+        if (j == other.buckets.size() ||
+            (i < buckets.size() &&
+             buckets[i].first < other.buckets[j].first)) {
+            merged.push_back(buckets[i++]);
+        } else if (i == buckets.size() ||
+                   other.buckets[j].first < buckets[i].first) {
+            merged.push_back(other.buckets[j++]);
+        } else {
+            merged.emplace_back(buckets[i].first,
+                                buckets[i].second +
+                                    other.buckets[j].second);
+            ++i;
+            ++j;
+        }
+    }
+    buckets = std::move(merged);
+}
+
 void
 Registry::clear()
 {

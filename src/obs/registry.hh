@@ -21,10 +21,53 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "sim/time.hh"
 
 namespace molecule::obs {
+
+/**
+ * Frozen bucket state of a Histogram at one instant. Snapshots are
+ * values: subtract an older snapshot from a newer one and the result
+ * is the distribution of exactly the samples recorded in between —
+ * the windowed-percentile primitive of the telemetry plane (a window
+ * close diffs two snapshots instead of re-walking the histogram).
+ * Buckets are index-sorted, so all derived output is deterministic.
+ */
+struct HistogramSnapshot
+{
+    /** (bucket index, cumulative count), ascending by index. */
+    std::vector<std::pair<int, std::uint64_t>> buckets;
+    std::uint64_t count = 0;
+    double sum = 0.0;
+
+    double mean() const { return count ? sum / double(count) : 0.0; }
+
+    /**
+     * Bucketed percentile over the snapshot's own counts; @p p in
+     * [0, 100]. Resolution is the bucket width (~9%); unlike
+     * Histogram::percentile there is no observed-range clamp (deltas
+     * do not carry min/max).
+     */
+    double percentile(double p) const;
+
+    /**
+     * Samples that landed in buckets strictly above the one holding
+     * @p v — the deterministic "requests over the SLO threshold"
+     * count (within one bucket of the exact answer).
+     */
+    std::uint64_t countAbove(double v) const;
+
+    /** Samples recorded between @p older and this snapshot. Bucket
+     * counts are monotone, so the precondition is simply that @p
+     * older was taken earlier on the same histogram. */
+    HistogramSnapshot minus(const HistogramSnapshot &older) const;
+
+    /** Fold @p other into this snapshot (cross-shard aggregation). */
+    void merge(const HistogramSnapshot &other);
+};
 
 /** Monotonic counter. */
 class Counter
@@ -84,13 +127,20 @@ class Histogram
     /** "n=... avg=... p50=... p95=... p99=..." reporting line. */
     std::string summaryLine() const;
 
-  private:
+    /** Freeze the bucket state (see HistogramSnapshot). */
+    HistogramSnapshot snapshotBuckets() const;
+
+    /** @name Bucket geometry (shared with HistogramSnapshot) */
+    ///@{
     static int bucketOf(double v);
 
     static double bucketMid(int idx);
+    ///@}
 
     /** Sub-unity and non-positive samples share the floor bucket. */
     static constexpr int kFloorBucket = -1024;
+
+  private:
 
     std::map<int, std::uint64_t> buckets_;
     std::uint64_t count_ = 0;

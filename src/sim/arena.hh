@@ -65,8 +65,15 @@ class Arena
         for (;;) {
             if (cur_ < chunks_.size()) {
                 Chunk &c = chunks_[cur_];
+                // Align the *address*, not the offset: operator new[]
+                // only guarantees __STDCPP_DEFAULT_NEW_ALIGNMENT__ for
+                // the chunk base, so over-aligned requests must pad
+                // relative to where the chunk actually landed.
+                const std::uintptr_t raw =
+                    reinterpret_cast<std::uintptr_t>(c.data.get()) +
+                    off_;
                 const std::size_t base =
-                    (off_ + (align - 1)) & ~(align - 1);
+                    off_ + ((align - (raw & (align - 1))) & (align - 1));
                 if (base + bytes <= c.cap) {
                     off_ = base + bytes;
                     used_ = base + bytes > used_ ? base + bytes : used_;

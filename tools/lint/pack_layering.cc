@@ -9,7 +9,10 @@
  *
  * (load sits above workloads only by rank — it depends on sim alone;
  * cluster tops the stack: it composes core runtimes and load streams
- * into multi-computer fleets.)
+ * into multi-computer fleets. obs at rank 2 covers the whole
+ * observability plane — tracing, the metrics registry, and the
+ * windowed telemetry/SLO/flight-recorder submodules — so fault and
+ * cluster may feed it, never the reverse.)
  *
  * A file under src/<mod>/ may include "other/..." only when `other`
  * sits at the same or a lower rank — lower layers can never include
