@@ -17,7 +17,7 @@
 namespace {
 
 using namespace molecule;
-using core::KeepAlivePolicy;
+using core::KeepAliveConfig;
 using core::Molecule;
 using core::MoleculeOptions;
 using hw::PuType;
@@ -33,13 +33,13 @@ struct Outcome
 };
 
 Outcome
-runTrace(KeepAlivePolicy policy, std::size_t budget)
+runTrace(const KeepAliveConfig &keepAlive, std::size_t budget)
 {
     sim::Simulation sim;
     auto computer = hw::buildCpuDpuServer(sim, 0,
                                           hw::DpuGeneration::Bf1);
     MoleculeOptions options;
-    options.startup.policy = policy;
+    options.startup.keepAlive = keepAlive;
     options.startup.globalWarmCapacityPerPu = budget;
     Molecule runtime(*computer, options);
     // Exclude video-processing: its 34 s body would dominate wall
@@ -91,7 +91,8 @@ main()
     using namespace molecule::bench;
     using molecule::sim::Table;
 
-    banner("Ablation: keep-alive policy (LRU vs greedy-dual)",
+    banner("Ablation: keep-alive policy (LRU vs greedy-dual vs "
+           "histogram)",
            "design choice deferred to FaasCache in §5; Zipf(1.2) "
            "trace, 20 req/s, 120 s, global warm budget per PU");
 
@@ -99,12 +100,12 @@ main()
     t.header({"budget", "policy", "cold", "warm", "mean startup (ms)",
               "p95 startup (ms)"});
     for (std::size_t budget : {2, 3, 4, 6}) {
-        for (auto policy :
-             {KeepAlivePolicy::Lru, KeepAlivePolicy::GreedyDual}) {
-            const auto o = runTrace(policy, budget);
+        for (const auto &keepAlive :
+             {KeepAliveConfig::lru(), KeepAliveConfig::greedyDual(),
+              KeepAliveConfig::histogram()}) {
+            const auto o = runTrace(keepAlive, budget);
             t.row({std::to_string(budget),
-                   policy == KeepAlivePolicy::Lru ? "LRU"
-                                                  : "GreedyDual",
+                   core::toString(keepAlive.kind),
                    std::to_string(o.coldStarts),
                    std::to_string(o.warmHits),
                    Table::num(o.meanStartupMs, 2),

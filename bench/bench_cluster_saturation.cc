@@ -95,8 +95,11 @@ clusterRate()
     admission.queueCapacity = 2048;
     admission.maxOutstandingPerNode = 96;
     admission.invoke.maxAttempts = 2;
-    cluster::ClusterGateway gateway(fleet, spec.functions, admission,
-                                    policy, stats);
+    cluster::GatewayConfig gwCfg =
+        cluster::GatewayConfig::forFunctions(spec.functions, stats);
+    gwCfg.admission = admission;
+    gwCfg.dispatch = &policy;
+    cluster::ClusterGateway gateway(fleet, gwCfg);
 
     load::OpenLoopGenerator gen(spec);
     const auto t0 = std::chrono::steady_clock::now();

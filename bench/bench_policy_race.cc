@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Policy-layer wall-clock bench: how fast the simulator chews through
+ * the policy_report race scenario under each placement x keep-alive
+ * combo (invocations completed per wall second, full admission +
+ * placement + keep-alive + cost accounting pipeline).
+ *
+ * Writes BENCH_policy.json (same PerfSnapshot shape perf_check
+ * reads); the committed copy at the repo root is the reference the CI
+ * perf-smoke job compares against, warn-only — policy rows span the
+ * entire stack and are noisier than the simcore micros.
+ */
+
+#include <chrono>
+
+#include "bench/common.hh"
+#include "cluster/cost.hh"
+#include "cluster/gateway.hh"
+#include "load/generator.hh"
+#include "sim/simulation.hh"
+
+namespace {
+
+using namespace molecule;
+using sim::SimTime;
+
+constexpr int kRepetitions = 3;
+
+double
+wallSeconds(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * Completed invocations per wall second for one policy combo on the
+ * saturated rung of the tools/policy_report scenario (open gateway,
+ * 4-node 2xBF2 fleet, cost model attached).
+ */
+double
+policyRate(const core::PlacementConfig &placement,
+           const core::KeepAliveConfig &keepAlive)
+{
+    sim::Simulation sim(42);
+    cluster::FleetSpec fleetSpec;
+    fleetSpec.nodes = 4;
+    fleetSpec.dpusPerNode = 2;
+    fleetSpec.runtime.placement = placement;
+    fleetSpec.runtime.startup.keepAlive = keepAlive;
+    cluster::Fleet fleet(sim, fleetSpec);
+
+    load::TraceSpec spec;
+    spec.seed = 42;
+    spec.ratePerSecond = 768.0; // 1.6x the DPU-bound ceiling
+    spec.duration = SimTime::fromSeconds(60.0);
+    spec.functions = {"helloworld", "pyaes", "dd", "gzip-compression"};
+    spec.tenants = {
+        {"alpha", 3.0, 1.1, 1},
+        {"beta", 1.0, 0.8, 2},
+    };
+    for (const auto &fn : spec.functions)
+        fleet.registerCpuFunction(fn,
+                                  {hw::PuType::HostCpu, hw::PuType::Dpu});
+    fleet.start();
+
+    obs::Registry registry;
+    cluster::ClusterStats stats(registry);
+    cluster::CostModel cost;
+    stats.setCostModel(&cost, fleet.puTypeTable());
+    cluster::GatewayConfig gwCfg =
+        cluster::GatewayConfig::forFunctions(spec.functions, stats);
+    gwCfg.admission.tokensPerSecond = 0.0;
+    gwCfg.admission.queueCapacity = 2048;
+    gwCfg.admission.maxOutstandingPerNode = 96;
+    gwCfg.admission.invoke.maxAttempts = 2;
+    cluster::ClusterGateway gateway(fleet, gwCfg);
+
+    load::OpenLoopGenerator gen(spec);
+    const auto t0 = std::chrono::steady_clock::now();
+    sim.spawn(load::drive(sim, gen, gateway));
+    sim.run();
+    const double wall = wallSeconds(t0);
+    const auto summary = stats.summarize(sim.now(), fleet.coreTable());
+    return double(summary.completed) / wall;
+}
+
+} // namespace
+
+int
+main()
+{
+    using namespace molecule::bench;
+
+    banner("policy race wall-clock throughput",
+           "placement x keep-alive combos on the saturated "
+           "policy_report rung");
+
+    PerfSnapshot snap("items_per_second");
+    sim::Table table("Wall-clock throughput, best of 3 repetitions");
+    table.header({"case", "items/s"});
+
+    struct Case
+    {
+        const char *name;
+        core::PlacementConfig placement;
+        core::KeepAliveConfig keepAlive;
+    };
+    const Case kCases[] = {
+        {"PolicyPriceOrderedLru", core::PlacementConfig::priceOrdered(),
+         core::KeepAliveConfig::lru()},
+        {"PolicyLoadAwareLru", core::PlacementConfig::loadAware(),
+         core::KeepAliveConfig::lru()},
+        {"PolicyLocalityLru", core::PlacementConfig::locality(),
+         core::KeepAliveConfig::lru()},
+        {"PolicyPriceOrderedHistogram",
+         core::PlacementConfig::priceOrdered(),
+         core::KeepAliveConfig::histogram()},
+    };
+    for (const auto &c : kCases) {
+        double best = 0.0;
+        for (int rep = 0; rep < kRepetitions; ++rep) {
+            const double rate = policyRate(c.placement, c.keepAlive);
+            snap.record(c.name, rate);
+            best = std::max(best, rate);
+        }
+        table.row({c.name, sim::Table::num(best, 0)});
+    }
+    table.print();
+
+    if (!snap.writeJson("BENCH_policy.json")) {
+        std::fprintf(stderr, "cannot write BENCH_policy.json\n");
+        return 1;
+    }
+    std::printf("\nsnapshot -> BENCH_policy.json\n");
+    return 0;
+}

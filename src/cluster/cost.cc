@@ -1,0 +1,68 @@
+#include "cluster/cost.hh"
+
+#include <algorithm>
+
+namespace molecule::cluster {
+
+double
+CostModel::perSecond(hw::PuType kind) const
+{
+    switch (kind) {
+    case hw::PuType::Dpu:
+        return rates_.dpuSecond;
+    case hw::PuType::HostCpu:
+        return rates_.hostCpuSecond;
+    case hw::PuType::GpuHost:
+        return rates_.gpuHostSecond;
+    case hw::PuType::FpgaHost:
+        return rates_.fpgaHostSecond;
+    }
+    return rates_.hostCpuSecond;
+}
+
+double
+CostModel::invocationCost(hw::PuType kind, sim::SimTime execution,
+                          std::uint64_t transferBytes) const
+{
+    const double execDollars =
+        execution.toSeconds() * perSecond(kind);
+    const double transferDollars = double(transferBytes) /
+                                   double(1ULL << 30) *
+                                   rates_.perTransferGb;
+    return execDollars + rates_.perInvocation + transferDollars;
+}
+
+std::vector<ParetoPoint>
+paretoFrontier(std::vector<ParetoPoint> &points)
+{
+    for (ParetoPoint &p : points) {
+        p.dominated = false;
+        for (const ParetoPoint &q : points) {
+            if (&p == &q)
+                continue;
+            const bool noWorse =
+                q.p99Us <= p.p99Us && q.cost <= p.cost;
+            const bool better =
+                q.p99Us < p.p99Us || q.cost < p.cost;
+            if (noWorse && better) {
+                p.dominated = true;
+                break;
+            }
+        }
+    }
+    std::vector<ParetoPoint> frontier;
+    for (const ParetoPoint &p : points)
+        if (!p.dominated)
+            frontier.push_back(p);
+    std::sort(frontier.begin(), frontier.end(),
+              [](const ParetoPoint &a, const ParetoPoint &b) {
+                  if (a.p99Us != b.p99Us)
+                      return a.p99Us < b.p99Us;
+                  if (a.cost != b.cost)
+                      return a.cost < b.cost;
+                  return a.label < b.label;
+              });
+    return frontier;
+}
+
+} // namespace molecule::cluster

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Dollar-cost model for fleet runs (the cost axis of the policy
+ * scoreboard).
+ *
+ * Serverless pricing charges for resource-seconds, not machines: an
+ * invocation costs its execution time at the serving PU's rate, plus
+ * a flat per-request fee, plus egress on cross-PU transfer. The rates
+ * mirror the paper's pricing argument (§4.1): DPU seconds are cheaper
+ * than host-CPU seconds, accelerators dearer — so a placement policy
+ * that spills work to hosts buys throughput with dollars, and the
+ * policy_report Pareto tables make that trade visible.
+ *
+ * All arithmetic is plain double on exact simulated durations, so
+ * accumulated cost is bit-reproducible for a given event stream.
+ */
+
+#ifndef MOLECULE_CLUSTER_COST_HH
+#define MOLECULE_CLUSTER_COST_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/pu.hh"
+#include "sim/time.hh"
+
+namespace molecule::cluster {
+
+/** Price card: $ per PU-second by kind, plus request/transfer fees. */
+struct CostRates
+{
+    /** $ per second of DPU execution (cheapest compute). */
+    double dpuSecond = 0.6e-4;
+    /** $ per second of host-CPU execution. */
+    double hostCpuSecond = 1.0e-4;
+    /** $ per second of GPU-host execution. */
+    double gpuHostSecond = 2.0e-4;
+    /** $ per second of FPGA-host execution (dearest). */
+    double fpgaHostSecond = 3.0e-4;
+    /** Flat fee per invocation (request handling). */
+    double perInvocation = 0.2e-6;
+    /** $ per GB moved across PUs (manager -> worker delivery). */
+    double perTransferGb = 0.01;
+};
+
+/**
+ * Per-invocation cost model; pure arithmetic, no state.
+ */
+class CostModel
+{
+  public:
+    CostModel() = default;
+
+    explicit CostModel(const CostRates &rates) : rates_(rates) {}
+
+    const CostRates &rates() const { return rates_; }
+
+    /** $ per second of execution on @p kind. */
+    double perSecond(hw::PuType kind) const;
+
+    /**
+     * Full cost of one completed invocation: execution seconds at the
+     * PU rate + the flat request fee + transfer egress.
+     */
+    double invocationCost(hw::PuType kind, sim::SimTime execution,
+                          std::uint64_t transferBytes) const;
+
+  private:
+    CostRates rates_;
+};
+
+/** One candidate on the latency/cost plane (policy_report rows). */
+struct ParetoPoint
+{
+    std::string label;
+    /** Tail latency, microseconds (lower is better). */
+    double p99Us = 0.0;
+    /** Accumulated dollars (lower is better). */
+    double cost = 0.0;
+    /** Completions per second (context, not a frontier axis). */
+    double throughput = 0.0;
+    /** Set by paretoFrontier: dominated by some other point. */
+    bool dominated = false;
+};
+
+/**
+ * Mark dominated points: a point is dominated when another point is
+ * no worse on both axes (p99Us, cost) and strictly better on at
+ * least one. Returns the frontier (non-dominated points) sorted by
+ * ascending p99Us, ties by ascending cost, then label — fully
+ * deterministic for identical inputs.
+ */
+std::vector<ParetoPoint>
+paretoFrontier(std::vector<ParetoPoint> &points);
+
+} // namespace molecule::cluster
+
+#endif // MOLECULE_CLUSTER_COST_HH

@@ -46,6 +46,18 @@ Fleet::coreTable() const
     return cores;
 }
 
+std::map<std::pair<int, int>, hw::PuType>
+Fleet::puTypeTable() const
+{
+    std::map<std::pair<int, int>, hw::PuType> types;
+    for (std::size_t i = 0; i < computers_.size(); ++i) {
+        const hw::Computer &c = *computers_[i];
+        for (int p = 0; p < c.puCount(); ++p)
+            types[{int(i), p}] = c.pu(p).desc().type;
+    }
+    return types;
+}
+
 int
 Fleet::totalPus() const
 {

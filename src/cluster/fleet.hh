@@ -77,6 +77,9 @@ class Fleet
     /** (node, pu) -> core count, for utilization normalization. */
     std::map<std::pair<int, int>, int> coreTable() const;
 
+    /** (node, pu) -> PU kind, for the cost model's rate lookup. */
+    std::map<std::pair<int, int>, hw::PuType> puTypeTable() const;
+
     /** Total PUs across the fleet. */
     int totalPus() const;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/flight_recorder.hh"
+#include "sim/logging.hh"
 #include "sim/simulation.hh"
 
 namespace molecule::cluster {
@@ -64,13 +65,68 @@ WarmAffinityPolicy::pick(const load::Arrival &a,
     return node;
 }
 
-ClusterGateway::ClusterGateway(Fleet &fleet,
-                               std::vector<std::string> functions,
-                               const AdmissionOptions &options,
-                               DispatchPolicy &policy,
-                               ClusterStats &stats)
-    : fleet_(fleet), functions_(std::move(functions)), opts_(options),
-      policy_(policy), stats_(stats), tokens_(options.bucketCapacity),
+core::Status
+GatewayConfig::validate() const
+{
+    if (stats == nullptr)
+        return core::Error(core::Errc::InvalidArgument,
+                           "GatewayConfig.stats is required");
+    if (functions.empty())
+        return core::Error(core::Errc::InvalidArgument,
+                           "GatewayConfig.functions is empty");
+    if (admission.maxOutstandingPerNode <= 0)
+        return core::Error(
+            core::Errc::InvalidArgument,
+            "GatewayConfig.admission.maxOutstandingPerNode must be "
+            "positive");
+    if (admission.tokensPerSecond < 0.0)
+        return core::Error(
+            core::Errc::InvalidArgument,
+            "GatewayConfig.admission.tokensPerSecond is negative");
+    if (admission.tokensPerSecond > 0.0 &&
+        admission.bucketCapacity < 1.0)
+        return core::Error(
+            core::Errc::InvalidArgument,
+            "GatewayConfig.admission.bucketCapacity must be >= 1 "
+            "when rate policing is on");
+    return core::Status();
+}
+
+GatewayConfig
+GatewayConfig::forFunctions(std::vector<std::string> fns,
+                            ClusterStats &stats)
+{
+    GatewayConfig cfg;
+    cfg.functions = std::move(fns);
+    cfg.stats = &stats;
+    return cfg;
+}
+
+namespace {
+
+/** Fail fast on a broken config, before any member binds to it. */
+GatewayConfig &
+validated(GatewayConfig &config)
+{
+    const core::Status st = config.validate();
+    MOLECULE_ASSERT(st.ok(), "invalid GatewayConfig: %s",
+                    st.error().detail().c_str());
+    return config;
+}
+
+} // namespace
+
+ClusterGateway::ClusterGateway(Fleet &fleet, GatewayConfig config)
+    : fleet_(fleet),
+      functions_(std::move(validated(config).functions)),
+      opts_(config.admission),
+      ownedPolicy_(config.dispatch == nullptr
+                       ? std::make_unique<LeastOutstandingPolicy>()
+                       : nullptr),
+      policy_(config.dispatch != nullptr ? config.dispatch
+                                         : ownedPolicy_.get()),
+      stats_(*config.stats), recorder_(config.recorder),
+      tokens_(config.admission.bucketCapacity),
       lastRefill_(fleet.simulation().now()),
       outstanding_(std::size_t(fleet.size()), 0)
 {
@@ -101,7 +157,7 @@ ClusterGateway::onArrival(const load::Arrival &a)
         tokens_ -= 1.0;
     }
     const int node =
-        policy_.pick(a, outstanding_, opts_.maxOutstandingPerNode);
+        policy_->pick(a, outstanding_, opts_.maxOutstandingPerNode);
     if (node >= 0) {
         dispatch(a, node);
         return;
@@ -126,7 +182,7 @@ void
 ClusterGateway::pump()
 {
     while (!queue_.empty()) {
-        const int node = policy_.pick(
+        const int node = policy_->pick(
             queue_.front(), outstanding_, opts_.maxOutstandingPerNode);
         if (node < 0)
             break;
@@ -153,8 +209,18 @@ ClusterGateway::serve(load::Arrival a, int node)
         functions_.at(a.fn), opts_.invoke);
     sim::Simulation &sim = fleet_.simulation();
     if (result.ok()) {
+        // Cross-PU serves paid the manager->worker delivery; that
+        // volume is the cost model's egress term.
+        core::Molecule &rt = fleet_.node(node);
+        std::uint64_t transferBytes = 0;
+        if (result.value().pu != rt.options().managerPu) {
+            const core::FunctionDef *def =
+                rt.registry().findPtr(functions_.at(a.fn));
+            if (def != nullptr && def->cpuWork != nullptr)
+                transferBytes = def->cpuWork->msgBytes;
+        }
         stats_.onCompleted(node, result.value(), sim.now() - a.at,
-                           int(a.tenant));
+                           int(a.tenant), transferBytes);
     } else {
         stats_.onError(node, std::uint8_t(result.error().code()),
                        int(a.tenant));
@@ -165,7 +231,7 @@ ClusterGateway::serve(load::Arrival a, int node)
             recorder_->trigger("errc.hang", sim.now());
     }
     --outstanding_[std::size_t(node)];
-    policy_.onComplete(a, node);
+    policy_->onComplete(a, node);
     pump();
 }
 

@@ -31,6 +31,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -143,6 +144,34 @@ class WarmAffinityPolicy final : public DispatchPolicy
 };
 
 /**
+ * Everything a ClusterGateway needs, in one validated aggregate —
+ * the knobs that used to sprawl across constructor arguments.
+ * Pointers are non-owning and must outlive the gateway.
+ */
+struct GatewayConfig
+{
+    /** Maps Arrival::fn indices to registered function names. */
+    std::vector<std::string> functions;
+    /** Rate policing / backlog / concurrency knobs. */
+    AdmissionOptions admission;
+    /** Node-selection policy; null installs a gateway-owned
+     * least-outstanding default. */
+    DispatchPolicy *dispatch = nullptr;
+    /** Scoreboard every event lands on (required). */
+    ClusterStats *stats = nullptr;
+    /** Post-mortem bundle dump on Errc::Hang (optional). */
+    obs::FlightRecorder *recorder = nullptr;
+
+    /** Structural sanity: required fields present, knobs in range. */
+    core::Status validate() const;
+
+    /** The common case: functions + scoreboard, default admission,
+     * default (least-outstanding) dispatch. */
+    static GatewayConfig forFunctions(std::vector<std::string> fns,
+                                      ClusterStats &stats);
+};
+
+/**
  * The front door, fed by load::drive (it is an ArrivalSink).
  *
  * @code
@@ -150,9 +179,10 @@ class WarmAffinityPolicy final : public DispatchPolicy
  *   fleet.registerCpuFunction("helloworld", kinds);
  *   fleet.start();
  *   cluster::ClusterStats stats(registry);
- *   cluster::LeastOutstandingPolicy policy;
- *   cluster::ClusterGateway gw(fleet, spec.functions, admission,
- *                              policy, stats);
+ *   cluster::GatewayConfig cfg =
+ *       cluster::GatewayConfig::forFunctions(spec.functions, stats);
+ *   cfg.admission.tokensPerSecond = 300.0;
+ *   cluster::ClusterGateway gw(fleet, cfg);
  *   load::OpenLoopGenerator gen(spec);
  *   sim.spawn(load::drive(sim, gen, gw));
  *   sim.run();
@@ -161,10 +191,8 @@ class WarmAffinityPolicy final : public DispatchPolicy
 class ClusterGateway final : public load::ArrivalSink
 {
   public:
-    /** @p functions maps Arrival::fn indices to registered names. */
-    ClusterGateway(Fleet &fleet, std::vector<std::string> functions,
-                   const AdmissionOptions &options,
-                   DispatchPolicy &policy, ClusterStats &stats);
+    /** Asserts config.validate() — fix the config, not the crash. */
+    ClusterGateway(Fleet &fleet, GatewayConfig config);
 
     void onArrival(const load::Arrival &a) override;
 
@@ -180,15 +208,7 @@ class ClusterGateway final : public load::ArrivalSink
 
     const AdmissionOptions &options() const { return opts_; }
 
-    DispatchPolicy &policy() { return policy_; }
-
-    /** Dump a post-mortem bundle when a served invocation hangs
-     * (Errc::Hang — the watchdog caught a wedged node). Null (the
-     * default, and always in telemetry-off builds) disables it. */
-    void setFlightRecorder(obs::FlightRecorder *recorder)
-    {
-        recorder_ = recorder;
-    }
+    DispatchPolicy &policy() { return *policy_; }
 
   private:
     /** Lazy token-bucket refill up to the burst capacity. */
@@ -205,7 +225,9 @@ class ClusterGateway final : public load::ArrivalSink
     Fleet &fleet_;
     std::vector<std::string> functions_;
     AdmissionOptions opts_;
-    DispatchPolicy &policy_;
+    /** Set only when the config left dispatch null. */
+    std::unique_ptr<DispatchPolicy> ownedPolicy_;
+    DispatchPolicy *policy_;
     ClusterStats &stats_;
     obs::FlightRecorder *recorder_ = nullptr;
 

@@ -134,7 +134,8 @@ ClusterStats::onDispatched(sim::SimTime queueWait)
 
 void
 ClusterStats::onCompleted(int n, const obs::InvocationRecord &rec,
-                          sim::SimTime endToEnd, int t)
+                          sim::SimTime endToEnd, int t,
+                          std::uint64_t transferBytes)
 {
     completed_->inc();
     e2eUs_->addTime(endToEnd);
@@ -147,6 +148,17 @@ ClusterStats::onCompleted(int n, const obs::InvocationRecord &rec,
     TenantState &ts = tenant(t);
     ++ts.completed;
     ts.e2eUs.addTime(endToEnd);
+    if (cost_ != nullptr) {
+        const auto it = puTypes_.find({n, rec.pu});
+        const hw::PuType kind = it != puTypes_.end()
+                                    ? it->second
+                                    : hw::PuType::HostCpu;
+        const double dollars = cost_->invocationCost(
+            kind, rec.execution, transferBytes);
+        totalCost_ += dollars;
+        ts.cost += dollars;
+        fp_.mixDouble(dollars);
+    }
     NodeState &ns = node(n);
     if (ts_ != nullptr) {
         ts_->count(ts.tsCompleted);
@@ -179,6 +191,15 @@ ClusterStats::charge(int node, int pu, sim::SimTime busy)
     busy_[{node, pu}] += busy;
 }
 
+void
+ClusterStats::setCostModel(
+    const CostModel *model,
+    std::map<std::pair<int, int>, hw::PuType> puTypes)
+{
+    cost_ = model;
+    puTypes_ = std::move(puTypes);
+}
+
 ClusterSummary
 ClusterStats::summarize(
     sim::SimTime horizon,
@@ -200,6 +221,9 @@ ClusterStats::summarize(
     s.p999Us = e2eUs_->percentile(99.9);
     s.meanUs = e2eUs_->mean();
     s.queueWaitP99Us = queueWaitUs_->percentile(99);
+    s.totalCost = totalCost_;
+    if (s.completed > 0)
+        s.costPerInvocation = totalCost_ / double(s.completed);
     for (const auto &[key, busy] : busy_) {
         PuUtilization u;
         u.node = key.first;
@@ -224,6 +248,7 @@ ClusterStats::summarize(
         row.p50Us = state.e2eUs.percentile(50);
         row.p99Us = state.e2eUs.percentile(99);
         row.meanUs = state.e2eUs.mean();
+        row.cost = state.cost;
         s.tenants.push_back(row);
     }
     return s;
@@ -255,6 +280,10 @@ ClusterStats::digest() const
         fp.mix(std::uint64_t(state.completed));
         fp.mix(std::uint64_t(state.errors));
     }
+    // Cost joins the fold only when a model is attached, so goldens
+    // pinned on cost-free runs stay bit-identical.
+    if (cost_ != nullptr)
+        fp.mixDouble(totalCost_);
     return fp.digest();
 }
 

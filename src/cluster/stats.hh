@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "cluster/cost.hh"
 #include "obs/records.hh"
 #include "obs/registry.hh"
 #include "obs/timeseries.hh"
@@ -64,6 +65,9 @@ struct TenantSummary
     double p50Us = 0.0;
     double p99Us = 0.0;
     double meanUs = 0.0;
+    /** Accumulated $ of this tenant's completions (0 without a cost
+     * model attached). */
+    double cost = 0.0;
 };
 
 /** Snapshot of the scoreboard (one row of a rate-ladder table). */
@@ -87,6 +91,10 @@ struct ClusterSummary
     double p999Us = 0.0;
     double meanUs = 0.0;
     double queueWaitP99Us = 0.0;
+    /** Accumulated $ across all completions (0 without a model). */
+    double totalCost = 0.0;
+    /** Mean $ per completed invocation. */
+    double costPerInvocation = 0.0;
     std::vector<PuUtilization> utilization;
     /** Per-tenant attribution, ascending tenant id. */
     std::vector<TenantSummary> tenants;
@@ -132,9 +140,12 @@ class ClusterStats
 
     void onDispatched(sim::SimTime queueWait);
 
-    /** A completed invocation served on (node, rec.pu). */
+    /** A completed invocation served on (node, rec.pu);
+     * @p transferBytes is the cross-PU delivery volume (cost model
+     * egress — 0 when the manager PU served it directly). */
     void onCompleted(int node, const obs::InvocationRecord &rec,
-                     sim::SimTime endToEnd, int tenant = 0);
+                     sim::SimTime endToEnd, int tenant = 0,
+                     std::uint64_t transferBytes = 0);
 
     /** A typed failure (the arrival was admitted but not served). */
     void onError(int node, std::uint8_t errc, int tenant = 0);
@@ -142,6 +153,20 @@ class ClusterStats
 
     /** Busy-time charge for utilization (normally via onCompleted). */
     void charge(int node, int pu, sim::SimTime busy);
+
+    /**
+     * Attach the $-cost model: every later completion accrues
+     * invocationCost() under its tenant. @p puTypes maps (node, pu)
+     * to kinds for the per-PU-second rate (see Fleet::puTypeTable).
+     * Null detaches. Attachment changes the digest domain (cost joins
+     * the fold), so goldens pinned without a model stay untouched.
+     */
+    void setCostModel(const CostModel *model,
+                      std::map<std::pair<int, int>, hw::PuType>
+                          puTypes = {});
+
+    /** Accumulated $ so far (0 without a model). */
+    double totalCost() const { return totalCost_; }
 
     /**
      * Summarize the scoreboard over @p horizon. @p cores maps flat
@@ -175,6 +200,7 @@ class ClusterStats
         std::int64_t dropped = 0;
         std::int64_t completed = 0;
         std::int64_t errors = 0;
+        double cost = 0.0;
         obs::Histogram e2eUs;
         bool tsReady = false;
         std::uint32_t tsArrivals = 0;
@@ -221,6 +247,11 @@ class ClusterStats
     /** Attached collector (null: telemetry mirroring off). */
     obs::TimeSeries *ts_ = nullptr;
     std::uint32_t tsQueueDepth_ = 0;
+
+    /** Attached price card (null: cost accounting off). */
+    const CostModel *cost_ = nullptr;
+    std::map<std::pair<int, int>, hw::PuType> puTypes_;
+    double totalCost_ = 0.0;
 
     sim::Fingerprint fp_;
 };

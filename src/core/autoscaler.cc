@@ -1,0 +1,40 @@
+#include "core/autoscaler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/startup.hh"
+
+namespace molecule::core {
+
+void
+WarmPoolAutoscaler::addTarget(StartupManager *target)
+{
+    if (target != nullptr)
+        targets_.push_back(target);
+}
+
+void
+WarmPoolAutoscaler::onAlert(const obs::AlertEvent &a)
+{
+    const double factor = a.fired ? opts_.growFactor
+                                  : opts_.shrinkFactor;
+    if (a.fired)
+        ++scaleUps_;
+    else
+        ++scaleDowns_;
+    for (StartupManager *target : targets_) {
+        const std::size_t cur = target->options().warmCapacity;
+        const auto scaled =
+            std::size_t(std::llround(double(cur) * factor));
+        const std::size_t next = std::clamp(
+            scaled, opts_.minCapacity, opts_.maxCapacity);
+        target->options().warmCapacity = next;
+        fp_.mix(std::uint64_t(next));
+    }
+    fp_.mix(a.fired ? 0x5550ULL : 0x444eULL); // 'UP' / 'DN'
+    fp_.mix(std::uint64_t(a.tenant));
+    fp_.mixTime(a.at);
+}
+
+} // namespace molecule::core

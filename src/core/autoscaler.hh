@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Warm-pool autoscaler: SLO burn-rate alerts drive keep-alive
+ * capacity.
+ *
+ * A WarmPoolAutoscaler subscribes to obs::SloMonitor alerts (it is an
+ * obs::AlertSink) and resizes the warm-pool capacity of its target
+ * startup managers: a *fired* alert means the error budget is burning
+ * — grow the warm pools so fewer requests eat a cold start; a
+ * *resolved* alert lets capacity decay back toward the configured
+ * baseline so idle memory is returned.
+ *
+ * Scaling is purely deterministic: it reacts only to the alert stream
+ * (itself a pure function of the simulated workload), so runs with
+ * the same seed produce bit-identical scaling histories — pinned by
+ * digest() in the determinism suite.
+ */
+
+#ifndef MOLECULE_CORE_AUTOSCALER_HH
+#define MOLECULE_CORE_AUTOSCALER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/slo.hh"
+#include "sim/stats.hh"
+
+namespace molecule::core {
+
+class StartupManager;
+
+/**
+ * Grows/shrinks StartupManager warm capacity on SLO burn alerts.
+ */
+class WarmPoolAutoscaler final : public obs::AlertSink
+{
+  public:
+    struct Options
+    {
+        /** Capacity floor (shrink never goes below). */
+        std::size_t minCapacity = 16;
+        /** Capacity ceiling (grow never exceeds). */
+        std::size_t maxCapacity = 1024;
+        /** Multiplier applied on a fired alert (> 1). */
+        double growFactor = 2.0;
+        /** Multiplier applied on a resolved alert (< 1). */
+        double shrinkFactor = 0.5;
+    };
+
+    WarmPoolAutoscaler() = default;
+
+    explicit WarmPoolAutoscaler(const Options &options)
+        : opts_(options)
+    {}
+
+    /** Add a startup manager whose warm capacity this scaler drives.
+     * Must outlive the scaler. */
+    void addTarget(StartupManager *target);
+
+    void onAlert(const obs::AlertEvent &a) override;
+
+    /** Fired-alert scale-ups applied so far. */
+    std::int64_t scaleUps() const { return scaleUps_; }
+
+    /** Resolved-alert scale-downs applied so far. */
+    std::int64_t scaleDowns() const { return scaleDowns_; }
+
+    /**
+     * Order-sensitive digest of the scaling history (direction,
+     * tenant, resulting capacity per event) — bit-identical across
+     * replays of the same scenario.
+     */
+    std::uint64_t digest() const { return fp_.digest(); }
+
+    const Options &options() const { return opts_; }
+
+  private:
+    Options opts_;
+    std::vector<StartupManager *> targets_;
+    std::int64_t scaleUps_ = 0;
+    std::int64_t scaleDowns_ = 0;
+    sim::Fingerprint fp_;
+};
+
+} // namespace molecule::core
+
+#endif // MOLECULE_CORE_AUTOSCALER_HH

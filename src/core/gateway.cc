@@ -22,7 +22,7 @@ Gateway::admit(const FunctionDef &fn, int requestedPu,
     }
     // An excluded explicit placement (a failed earlier attempt) falls
     // through to failover placement by the scheduler.
-    const int pick = scheduler_.pickPu(fn, exclude);
+    const int pick = scheduler_.place(fn, exclude);
     if (pick < 0)
         return Error(Errc::NoCapacity,
                      "no PU can admit '" + fn.name + "'");

@@ -28,7 +28,7 @@ namespace molecule::core {
 class Gateway
 {
   public:
-    Gateway(Deployment &dep, const Scheduler &scheduler)
+    Gateway(Deployment &dep, Scheduler &scheduler)
         : dep_(dep), scheduler_(scheduler)
     {}
 
@@ -48,7 +48,7 @@ class Gateway
 
   private:
     Deployment &dep_;
-    const Scheduler &scheduler_;
+    Scheduler &scheduler_;
 };
 
 /** Modelled commercial platforms. */

@@ -16,6 +16,8 @@ Molecule::Molecule(hw::Computer &computer, MoleculeOptions options)
     startup_ = std::make_unique<StartupManager>(*dep_, registry_,
                                                 options_.startup);
     scheduler_ = std::make_unique<Scheduler>(*dep_, registry_);
+    scheduler_->setStartupManager(startup_.get());
+    scheduler_->installPlacement(options_.placement.make());
     gateway_ = std::make_unique<Gateway>(*dep_, *scheduler_);
     dag_ = std::make_unique<DagEngine>(*dep_, *startup_, registry_);
     if (options_.faults != nullptr) {
@@ -136,19 +138,26 @@ Molecule::invokeOnce(const FunctionDef &def, const InvokeOptions &opts,
         place.setArg(target);
     }
     rec.pu = target;
+    // Outstanding-work accounting for load-aware placement: every
+    // exit path below must balance this with noteComplete.
+    scheduler_->noteDispatch(target);
 
     AcquiredInstance acq = co_await startup_->acquire(
         *defp, target, options_.managerPu, rootCtx);
     *out = acq;
-    if (acq.instance == nullptr)
+    if (acq.instance == nullptr) {
+        scheduler_->noteComplete(target);
         co_return Error(Errc::NoMemory,
                         "admission failed for '" + defp->name + "'",
                         target);
-    if (dep_->puDown(target))
+    }
+    if (dep_->puDown(target)) {
+        scheduler_->noteComplete(target);
         co_return Error(Errc::PuCrashed,
                         "'" + defp->name +
                             "' lost its PU during startup",
                         target);
+    }
     rec.coldStart = acq.cold;
     rec.startup = acq.startupTime;
 
@@ -156,6 +165,7 @@ Molecule::invokeOnce(const FunctionDef &def, const InvokeOptions &opts,
         sim.now() - t0 > owned_opts.deadline) {
         if (!acq.instance->dead)
             co_await startup_->release(*defp, acq);
+        scheduler_->noteComplete(target);
         co_return Error(Errc::DeadlineExceeded,
                         "'" + defp->name +
                             "' missed its deadline after startup",
@@ -195,6 +205,7 @@ Molecule::invokeOnce(const FunctionDef &def, const InvokeOptions &opts,
         sim.now() - t0 > owned_opts.deadline) {
         if (!acq.instance->dead && !dep_->puDown(target))
             co_await startup_->release(*defp, acq);
+        scheduler_->noteComplete(target);
         co_return Error(Errc::DeadlineExceeded,
                         "'" + defp->name +
                             "' missed its deadline before execution",
@@ -208,6 +219,7 @@ Molecule::invokeOnce(const FunctionDef &def, const InvokeOptions &opts,
                           : defp->cpuWork->execCost;
     core::Status st = co_await dep_->runcOn(target).invoke(
         acq.instance->id, exec, rootCtx);
+    scheduler_->noteComplete(target);
     if (!st.ok())
         co_return st.error();
     rec.execution = sim.now() - execStart;

@@ -52,6 +52,8 @@ namespace molecule::core {
 struct MoleculeOptions
 {
     StartupOptions startup;
+    /** Placement strategy selection (see placement.hh). */
+    PlacementConfig placement;
     DagCommMode dagMode = DagCommMode::MoleculeIpc;
     /** PU hosting the Molecule runtime process (Figure 6). */
     int managerPu = 0;

@@ -1,0 +1,145 @@
+#include "core/placement.hh"
+
+#include <algorithm>
+
+namespace molecule::core {
+
+namespace {
+
+/** Candidate order of the price heuristic: cheapest profile first
+ * (registration order breaks price ties), then ascending PU id. */
+bool
+priceBefore(const PuView &a, const PuView &b)
+{
+    if (a.price != b.price)
+        return a.price < b.price;
+    if (a.profileRank != b.profileRank)
+        return a.profileRank < b.profileRank;
+    return a.pu < b.pu;
+}
+
+std::vector<const PuView *>
+priceOrdered(const PlacementView &view)
+{
+    std::vector<const PuView *> order;
+    order.reserve(view.pus().size());
+    for (const PuView &v : view.pus())
+        order.push_back(&v);
+    std::sort(order.begin(), order.end(),
+              [](const PuView *a, const PuView *b) {
+                  return priceBefore(*a, *b);
+              });
+    return order;
+}
+
+} // namespace
+
+int
+PriceOrderedPolicy::place(const PlacementRequest &req,
+                          const PlacementView &view)
+{
+    (void)req;
+    for (const PuView *v : priceOrdered(view))
+        if (v->eligible())
+            return v->pu;
+    return -1;
+}
+
+int
+LoadAwarePolicy::place(const PlacementRequest &req,
+                       const PlacementView &view)
+{
+    (void)req;
+    const auto order = priceOrdered(view);
+
+    // Pass 1: cheapest kind with headroom. The order is price-grouped,
+    // so scanning for the least-loaded PU within the current (price,
+    // rank) group before moving on implements "spill to the
+    // next-cheapest kind only when this one is saturated".
+    std::size_t i = 0;
+    while (i < order.size()) {
+        const double price = order[i]->price;
+        const std::uint32_t rank = order[i]->profileRank;
+        const PuView *best = nullptr;
+        for (; i < order.size() && order[i]->price == price &&
+               order[i]->profileRank == rank;
+             ++i) {
+            const PuView *v = order[i];
+            if (!v->eligible() ||
+                v->loadPerCore() >= opts_.spillThreshold)
+                continue;
+            if (best == nullptr ||
+                v->loadPerCore() < best->loadPerCore())
+                best = v;
+        }
+        if (best != nullptr)
+            return best->pu;
+    }
+
+    // Pass 2: every kind saturated — the globally least-loaded
+    // eligible PU absorbs the overflow (lowest id ties, via the
+    // price-ordered scan order and strict improvement).
+    const PuView *best = nullptr;
+    for (const PuView &v : view.pus()) {
+        if (!v.eligible())
+            continue;
+        if (best == nullptr || v.loadPerCore() < best->loadPerCore() ||
+            (v.loadPerCore() == best->loadPerCore() && v.pu < best->pu))
+            best = &v;
+    }
+    return best != nullptr ? best->pu : -1;
+}
+
+int
+LocalityAffinityPolicy::place(const PlacementRequest &req,
+                              const PlacementView &view)
+{
+    const PuView *warm = nullptr;
+    for (const PuView &v : view.pus()) {
+        if (!v.eligible() || v.warmSandboxes == 0 ||
+            v.loadPerCore() >= opts_.loadBarrier)
+            continue;
+        const bool better =
+            warm == nullptr || v.warmSandboxes > warm->warmSandboxes ||
+            (v.warmSandboxes == warm->warmSandboxes &&
+             priceBefore(v, *warm));
+        if (better)
+            warm = &v;
+    }
+    if (warm != nullptr)
+        return warm->pu;
+    return fallback_.place(req, view);
+}
+
+std::unique_ptr<PlacementPolicy>
+PlacementConfig::make() const
+{
+    switch (kind) {
+    case Kind::PriceOrdered:
+        return std::make_unique<PriceOrderedPolicy>();
+    case Kind::LoadAware:
+        return std::make_unique<LoadAwarePolicy>(
+            LoadAwarePolicy::Options{spillThreshold});
+    case Kind::Locality:
+        return std::make_unique<LocalityAffinityPolicy>(
+            LocalityAffinityPolicy::Options{loadBarrier,
+                                            spillThreshold});
+    }
+    return std::make_unique<PriceOrderedPolicy>();
+}
+
+const char *
+toString(PlacementConfig::Kind kind)
+{
+    switch (kind) {
+    case PlacementConfig::Kind::PriceOrdered:
+        return "price-ordered";
+    case PlacementConfig::Kind::LoadAware:
+        return "load-aware";
+    case PlacementConfig::Kind::Locality:
+        return "locality";
+    }
+    return "?";
+}
+
+} // namespace molecule::core

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/startup.hh"
+
 namespace molecule::core {
 
 std::uint64_t
@@ -10,37 +12,83 @@ Scheduler::admissibleBytes(int pu) const
     return dep_.computer().pu(pu).memoryFree();
 }
 
-int
-Scheduler::pickPu(const FunctionDef &fn,
-                  std::span<const int> exclude) const
+PlacementView
+Scheduler::view(const FunctionDef &fn,
+                std::span<const int> exclude) const
 {
-    decisions_.fetchAdd(1);
-    // Profiles sorted by price: cheapest first.
-    std::vector<Profile> profiles = fn.profiles;
-    std::sort(profiles.begin(), profiles.end(),
-              [](const Profile &a, const Profile &b) {
-                  return a.pricePer100ms < b.pricePer100ms;
-              });
     const std::uint64_t need =
         fn.cpuWork ? fn.cpuWork->image.mem.privateBytes +
                          fn.cpuWork->image.mem.runtimeShared / 8
                    : 0;
-    for (const auto &profile : profiles) {
+    const sim::SimTime now = dep_.simulation().now();
+    const fault::FaultState *faults = dep_.faults();
+
+    std::vector<PuView> pus;
+    // One view row per PU an allowed profile covers; the first profile
+    // of a kind (registration order) prices that kind's rows.
+    for (std::uint32_t rank = 0; rank < fn.profiles.size(); ++rank) {
+        const Profile &profile = fn.profiles[rank];
         for (int pu : dep_.pusOfType(profile.kind)) {
-            if (std::find(exclude.begin(), exclude.end(), pu) !=
-                exclude.end())
+            const bool seen =
+                std::any_of(pus.begin(), pus.end(),
+                            [pu](const PuView &v) { return v.pu == pu; });
+            if (seen)
                 continue;
-            if (dep_.puDown(pu))
-                continue;
-            if (admissibleBytes(pu) >= need)
-                return pu;
+            PuView v;
+            v.pu = pu;
+            v.kind = profile.kind;
+            v.price = profile.pricePer100ms;
+            v.profileRank = rank;
+            v.cores = dep_.computer().pu(pu).desc().cores;
+            v.outstanding =
+                std::size_t(pu) < outstanding_.size()
+                    ? outstanding_[std::size_t(pu)]
+                    : 0;
+            v.warmSandboxes = startup_ != nullptr
+                                  ? startup_->warmCount(fn.name, pu)
+                                  : 0;
+            v.freeBytes = admissibleBytes(pu);
+            v.needBytes = need;
+            v.down = dep_.puDown(pu);
+            v.excluded = std::find(exclude.begin(), exclude.end(),
+                                   pu) != exclude.end();
+            if (faults != nullptr) {
+                v.capabilityEpoch = faults->puEpoch(pu);
+                const fault::LinkFault *lf = faults->linkFault(0, pu);
+                v.linkDegraded =
+                    lf != nullptr &&
+                    (lf->downUntil > now || lf->degradedUntil > now);
+            }
+            pus.push_back(v);
         }
     }
-    return -1;
+    std::sort(pus.begin(), pus.end(),
+              [](const PuView &a, const PuView &b) {
+                  return a.pu < b.pu;
+              });
+    return PlacementView(std::move(pus));
+}
+
+int
+Scheduler::place(const FunctionDef &fn, std::span<const int> exclude)
+{
+    decisions_.fetchAdd(1);
+    PlacementRequest req;
+    req.fn = &fn;
+    req.exclude = exclude;
+    const PlacementView v = view(fn, exclude);
+    const int pick = policy_->place(req, v);
+    // Fold (function, pick) into the per-policy placement golden.
+    std::uint64_t h = 14695981039346656037ULL;
+    for (char c : fn.name)
+        h = (h ^ std::uint64_t(std::uint8_t(c))) * 1099511628211ULL;
+    placeFp_.mix(h);
+    placeFp_.mix(std::uint64_t(std::int64_t(pick)));
+    return pick;
 }
 
 std::vector<int>
-Scheduler::placeChain(const ChainSpec &spec) const
+Scheduler::placeChain(const ChainSpec &spec)
 {
     decisions_.fetchAdd(1);
     // Chain affinity: find one PU whose kind every function allows.
@@ -61,8 +109,45 @@ Scheduler::placeChain(const ChainSpec &spec) const
     std::vector<int> placement;
     placement.reserve(spec.nodes.size());
     for (const auto &node : spec.nodes)
-        placement.push_back(pickPu(registry_.find(node.fn)));
+        placement.push_back(place(registry_.find(node.fn)));
     return placement;
+}
+
+void
+Scheduler::installPlacement(std::unique_ptr<PlacementPolicy> policy)
+{
+    policy_ = policy != nullptr
+                  ? std::move(policy)
+                  : std::make_unique<PriceOrderedPolicy>();
+}
+
+void
+Scheduler::noteDispatch(int pu)
+{
+    if (pu < 0)
+        return;
+    if (std::size_t(pu) >= outstanding_.size())
+        outstanding_.resize(std::size_t(pu) + 1, 0);
+    ++outstanding_[std::size_t(pu)];
+    policy_->onDispatch(pu);
+}
+
+void
+Scheduler::noteComplete(int pu)
+{
+    if (pu < 0 || std::size_t(pu) >= outstanding_.size())
+        return;
+    if (outstanding_[std::size_t(pu)] > 0)
+        --outstanding_[std::size_t(pu)];
+    policy_->onComplete(pu);
+}
+
+int
+Scheduler::outstanding(int pu) const
+{
+    return pu >= 0 && std::size_t(pu) < outstanding_.size()
+               ? outstanding_[std::size_t(pu)]
+               : 0;
 }
 
 } // namespace molecule::core

@@ -12,8 +12,46 @@ namespace calib = hw::calib;
 StartupManager::StartupManager(Deployment &dep,
                                const FunctionRegistry &registry,
                                StartupOptions options)
-    : dep_(dep), registry_(registry), options_(options)
+    : dep_(dep), registry_(registry), options_(options),
+      strategy_(options_.keepAlive.make())
 {}
+
+void
+StartupManager::installKeepAlive(
+    std::unique_ptr<KeepAliveStrategy> strategy)
+{
+    strategy_ = strategy != nullptr ? std::move(strategy)
+                                    : options_.keepAlive.make();
+}
+
+WarmEntryView
+StartupManager::entryView(const PoolKey &key,
+                          const WarmEntry &entry) const
+{
+    WarmEntryView v;
+    v.fn = key.first;
+    v.pu = key.second;
+    v.lastUsed = entry.lastUsed;
+    v.freq = entry.freq;
+    v.costMs = entry.costMs;
+    v.sizeMb = entry.sizeMb;
+    v.parkPriority = entry.parkPriority;
+    return v;
+}
+
+void
+StartupManager::noteEviction(const PoolKey &key,
+                             const WarmEntry &victim)
+{
+    strategy_->onEvict(entryView(key, victim));
+    ++evictions_;
+    std::uint64_t h = 14695981039346656037ULL;
+    for (char c : victim.sandboxId)
+        h = (h ^ std::uint64_t(std::uint8_t(c))) * 1099511628211ULL;
+    evictFp_.mix(h);
+    evictFp_.mix(std::uint64_t(key.second));
+    evictFp_.mix(std::uint64_t(evictions_));
+}
 
 sim::Task<>
 StartupManager::bootstrap(int managerPu)
@@ -98,6 +136,7 @@ StartupManager::acquire(const FunctionDef &fn, int pu, int managerPu,
     const PoolKey key{fn.name, pu};
 
     ++freq_[key];
+    strategy_->onRequest(fn.name, pu, sim.now());
     auto poolIt = warmPools_.find(key);
     while (poolIt != warmPools_.end() && !poolIt->second.empty()) {
         WarmEntry entry = poolIt->second.front();
@@ -168,10 +207,9 @@ StartupManager::release(const FunctionDef &fn, AcquiredInstance inst)
     entry.freq = freq_[key];
     entry.sizeMb =
         double(fn.cpuWork->image.mem.coldTotal()) / double(1 << 20);
-    // FaasCache greedy-dual priority: clock + freq * cost / size.
-    double &clock = gdClock_[key];
-    entry.gdPriority = clock + double(entry.freq) * entry.costMs /
-                                   std::max(1.0, entry.sizeMb);
+    // The strategy stamps the parking priority (greedy-dual: clock +
+    // freq * cost / size; order-insensitive strategies return 0).
+    entry.parkPriority = strategy_->parkPriority(entryView(key, entry));
     warmPools_[key].push_back(std::move(entry));
     co_await evictIfNeeded(key);
     if (options_.globalWarmCapacityPerPu > 0)
@@ -182,24 +220,25 @@ sim::Task<>
 StartupManager::evictIfNeeded(const PoolKey &key)
 {
     auto &pool = warmPools_[key];
+    const sim::SimTime now = dep_.simulation().now();
     while (pool.size() > options_.warmCapacity) {
+        // Lowest strategy score goes; strict improvement keeps the
+        // earliest-scanned entry on ties.
         std::size_t victim = 0;
-        if (options_.policy == KeepAlivePolicy::Lru) {
-            // Oldest lastUsed.
-            for (std::size_t i = 1; i < pool.size(); ++i)
-                if (pool[i].lastUsed < pool[victim].lastUsed)
-                    victim = i;
-        } else {
-            // Lowest greedy-dual priority; its priority becomes the
-            // new clock (classic greedy-dual aging).
-            for (std::size_t i = 1; i < pool.size(); ++i)
-                if (pool[i].gdPriority < pool[victim].gdPriority)
-                    victim = i;
-            gdClock_[key] = pool[victim].gdPriority;
+        double victimScore =
+            strategy_->score(entryView(key, pool[0]), now);
+        for (std::size_t i = 1; i < pool.size(); ++i) {
+            const double s =
+                strategy_->score(entryView(key, pool[i]), now);
+            if (s < victimScore) {
+                victim = i;
+                victimScore = s;
+            }
         }
-        const std::string id = pool[victim].sandboxId;
+        const WarmEntry evicted = pool[victim];
         pool.erase(pool.begin() + std::ptrdiff_t(victim));
-        co_await dep_.runcOn(key.second).destroy(id);
+        noteEviction(key, evicted);
+        co_await dep_.runcOn(key.second).destroy(evicted.sandboxId);
     }
 }
 
@@ -216,40 +255,36 @@ StartupManager::warmTotalOn(int pu) const
 sim::Task<>
 StartupManager::evictGlobal(int pu)
 {
+    const sim::SimTime now = dep_.simulation().now();
     while (warmTotalOn(pu) > options_.globalWarmCapacityPerPu) {
-        // Find the global victim across this PU's pools.
+        // Find the global victim across this PU's pools: lowest
+        // strategy score; strict improvement keeps the
+        // earliest-scanned entry (pool-key order, then index) on ties.
         PoolKey victimKey{"", pu};
         std::size_t victimIdx = 0;
+        double victimScore = 0.0;
         bool found = false;
         for (auto &[key, pool] : warmPools_) {
             if (key.second != pu || pool.empty())
                 continue;
             for (std::size_t i = 0; i < pool.size(); ++i) {
-                if (!found) {
+                const double s =
+                    strategy_->score(entryView(key, pool[i]), now);
+                if (!found || s < victimScore) {
                     victimKey = key;
                     victimIdx = i;
+                    victimScore = s;
                     found = true;
-                    continue;
-                }
-                const auto &cur = warmPools_[victimKey][victimIdx];
-                const bool better =
-                    options_.policy == KeepAlivePolicy::Lru
-                        ? pool[i].lastUsed < cur.lastUsed
-                        : pool[i].gdPriority < cur.gdPriority;
-                if (better) {
-                    victimKey = key;
-                    victimIdx = i;
                 }
             }
         }
         if (!found)
             co_return;
         auto &pool = warmPools_[victimKey];
-        if (options_.policy == KeepAlivePolicy::GreedyDual)
-            gdClock_[victimKey] = pool[victimIdx].gdPriority;
-        const std::string id = pool[victimIdx].sandboxId;
+        const WarmEntry evicted = pool[victimIdx];
         pool.erase(pool.begin() + std::ptrdiff_t(victimIdx));
-        co_await dep_.runcOn(pu).destroy(id);
+        noteEviction(victimKey, evicted);
+        co_await dep_.runcOn(pu).destroy(evicted.sandboxId);
     }
 }
 

@@ -10,8 +10,11 @@
  * round-trip to the target PU's executor (launched through xSpawn at
  * bootstrap), which is the +1-3 ms of Fig 10's cfork-XPU bars.
  *
- * Keep-alive eviction implements two policies: plain LRU and a
- * FaasCache-style greedy-dual priority (clock + freq x cost / size).
+ * Keep-alive eviction order is delegated to a swappable
+ * KeepAliveStrategy (see keepalive.hh): plain LRU, a FaasCache-style
+ * greedy-dual priority (clock + freq x cost / size), or
+ * histogram-predicted idle windows. The manager owns the pools and
+ * the eviction mechanics; the strategy owns the order.
  */
 
 #ifndef MOLECULE_CORE_STARTUP_HH
@@ -24,13 +27,12 @@
 
 #include "core/deployment.hh"
 #include "core/function.hh"
+#include "core/keepalive.hh"
 #include "core/status.hh"
 #include "obs/trace.hh"
+#include "sim/stats.hh"
 
 namespace molecule::core {
-
-/** Keep-alive eviction policy (§5 "Keep-alive policies"). */
-enum class KeepAlivePolicy { Lru, GreedyDual };
 
 /** Startup configuration knobs. */
 struct StartupOptions
@@ -47,7 +49,8 @@ struct StartupOptions
      * expensive-to-boot functions warm over popular cheap ones).
      */
     std::size_t globalWarmCapacityPerPu = 0;
-    KeepAlivePolicy policy = KeepAlivePolicy::Lru;
+    /** Eviction-order strategy selection (see keepalive.hh). */
+    KeepAliveConfig keepAlive;
     /** Pre-initialized function containers per PU at bootstrap. */
     int pooledContainersPerPu = 32;
 };
@@ -151,6 +154,29 @@ class StartupManager
     /** Total warm hits served (stats). */
     std::int64_t warmHits() const { return warmHits_; }
 
+    /** @name Keep-alive strategy */
+    ///@{
+
+    /** Swap the eviction strategy (null resets to the configured
+     * KeepAliveConfig). Swapping mid-run is allowed; entries keep
+     * their stamped park priorities. */
+    void installKeepAlive(std::unique_ptr<KeepAliveStrategy> strategy);
+
+    KeepAliveStrategy &keepAlive() { return *strategy_; }
+
+    const KeepAliveStrategy &keepAlive() const { return *strategy_; }
+
+    /** Keep-alive evictions performed so far. */
+    std::int64_t evictions() const { return evictions_; }
+
+    /**
+     * Order-sensitive digest of every eviction (sandbox id, PU,
+     * ordinal): bit-identical across replays of the same scenario —
+     * the per-strategy golden the determinism suite pins.
+     */
+    std::uint64_t evictionDigest() const { return evictFp_.digest(); }
+    ///@}
+
   private:
     struct WarmEntry
     {
@@ -161,7 +187,8 @@ class StartupManager
         double costMs = 1.0;
         /** Memory size in MB (greedy-dual denominator). */
         double sizeMb = 1.0;
-        double gdPriority = 0.0;
+        /** Strategy priority stamped at park time. */
+        double parkPriority = 0.0;
     };
 
     using PoolKey = std::pair<std::string, int>;
@@ -178,13 +205,19 @@ class StartupManager
 
     std::size_t warmTotalOn(int pu) const;
 
+    /** Strategy view of one parked entry. */
+    WarmEntryView entryView(const PoolKey &key,
+                            const WarmEntry &entry) const;
+
+    /** Record one eviction (digest + counters + strategy feedback). */
+    void noteEviction(const PoolKey &key, const WarmEntry &victim);
+
     Deployment &dep_;
     const FunctionRegistry &registry_;
     StartupOptions options_;
+    std::unique_ptr<KeepAliveStrategy> strategy_;
     std::map<PoolKey, std::deque<WarmEntry>> warmPools_;
     std::map<int, std::vector<std::string>> fpgaHotSets_;
-    /** Greedy-dual clock per pool. */
-    std::map<PoolKey, double> gdClock_;
     /** Deployable CUDA images synthesized per GPU function. */
     sandbox::FunctionImage *gpuImage(const FunctionDef &fn);
 
@@ -196,6 +229,8 @@ class StartupManager
     std::map<PoolKey, std::int64_t> freq_;
     std::int64_t coldStarts_ = 0;
     std::int64_t warmHits_ = 0;
+    std::int64_t evictions_ = 0;
+    sim::Fingerprint evictFp_;
     std::uint64_t nextSandboxId_ = 0;
     bool bootstrapped_ = false;
 };

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unit tests for the dollar-cost model: per-invocation arithmetic,
+ * rate ordering (DPU < host < GPU < FPGA seconds), and the Pareto
+ * frontier's dominance marking and deterministic ordering.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/cost.hh"
+
+namespace {
+
+using namespace molecule;
+using cluster::CostModel;
+using cluster::CostRates;
+using cluster::ParetoPoint;
+using hw::PuType;
+using sim::SimTime;
+
+TEST(CostModel, RateCardOrdersPuKinds)
+{
+    CostModel m;
+    EXPECT_LT(m.perSecond(PuType::Dpu), m.perSecond(PuType::HostCpu));
+    EXPECT_LT(m.perSecond(PuType::HostCpu),
+              m.perSecond(PuType::GpuHost));
+    EXPECT_LT(m.perSecond(PuType::GpuHost),
+              m.perSecond(PuType::FpgaHost));
+}
+
+TEST(CostModel, InvocationCostIsExactArithmetic)
+{
+    CostRates rates;
+    rates.hostCpuSecond = 2.0;
+    rates.perInvocation = 0.5;
+    rates.perTransferGb = 4.0;
+    CostModel m(rates);
+    // 250 ms on host + flat fee + half a GB of transfer.
+    const double dollars = m.invocationCost(
+        PuType::HostCpu, SimTime::fromSeconds(0.25), 1ull << 29);
+    EXPECT_DOUBLE_EQ(dollars, 0.25 * 2.0 + 0.5 + 0.5 * 4.0);
+}
+
+TEST(CostModel, ZeroTransferChargesNoEgress)
+{
+    CostModel m;
+    const double local =
+        m.invocationCost(PuType::Dpu, SimTime::fromSeconds(1.0), 0);
+    const double remote = m.invocationCost(
+        PuType::Dpu, SimTime::fromSeconds(1.0), 1ull << 30);
+    EXPECT_DOUBLE_EQ(local,
+                     m.rates().dpuSecond + m.rates().perInvocation);
+    EXPECT_DOUBLE_EQ(remote - local, m.rates().perTransferGb);
+}
+
+TEST(CostModel, DpuSecondsAreCheaperThanHostSeconds)
+{
+    // The paper's pricing argument in one line: identical execution is
+    // cheaper on the DPU.
+    CostModel m;
+    const auto exec = SimTime::fromSeconds(0.1);
+    EXPECT_LT(m.invocationCost(PuType::Dpu, exec, 0),
+              m.invocationCost(PuType::HostCpu, exec, 0));
+}
+
+TEST(ParetoFrontier, MarksDominatedPoints)
+{
+    std::vector<ParetoPoint> pts(3);
+    pts[0] = {"fast-dear", 100.0, 9.0, 0.0, false};
+    pts[1] = {"slow-cheap", 900.0, 1.0, 0.0, false};
+    pts[2] = {"slow-dear", 900.0, 9.0, 0.0, false}; // dominated twice
+    const auto frontier = cluster::paretoFrontier(pts);
+    EXPECT_FALSE(pts[0].dominated);
+    EXPECT_FALSE(pts[1].dominated);
+    EXPECT_TRUE(pts[2].dominated);
+    ASSERT_EQ(frontier.size(), 2u);
+    EXPECT_EQ(frontier[0].label, "fast-dear");
+    EXPECT_EQ(frontier[1].label, "slow-cheap");
+}
+
+TEST(ParetoFrontier, EqualOnBothAxesDoesNotDominate)
+{
+    std::vector<ParetoPoint> pts(2);
+    pts[0] = {"a", 100.0, 5.0, 0.0, false};
+    pts[1] = {"b", 100.0, 5.0, 0.0, false};
+    const auto frontier = cluster::paretoFrontier(pts);
+    EXPECT_EQ(frontier.size(), 2u);
+    EXPECT_FALSE(pts[0].dominated);
+    EXPECT_FALSE(pts[1].dominated);
+}
+
+TEST(ParetoFrontier, TieOnOneAxisStrictlyBetterOtherDominates)
+{
+    std::vector<ParetoPoint> pts(2);
+    pts[0] = {"cheaper", 100.0, 1.0, 0.0, false};
+    pts[1] = {"dearer", 100.0, 2.0, 0.0, false};
+    const auto frontier = cluster::paretoFrontier(pts);
+    ASSERT_EQ(frontier.size(), 1u);
+    EXPECT_EQ(frontier[0].label, "cheaper");
+    EXPECT_TRUE(pts[1].dominated);
+}
+
+TEST(ParetoFrontier, SortedByLatencyThenCostThenLabel)
+{
+    std::vector<ParetoPoint> pts(4);
+    pts[0] = {"d", 300.0, 1.0, 0.0, false};
+    pts[1] = {"b", 100.0, 5.0, 0.0, false};
+    pts[2] = {"a", 100.0, 5.0, 0.0, false};
+    pts[3] = {"c", 200.0, 3.0, 0.0, false};
+    const auto frontier = cluster::paretoFrontier(pts);
+    ASSERT_EQ(frontier.size(), 4u);
+    EXPECT_EQ(frontier[0].label, "a");
+    EXPECT_EQ(frontier[1].label, "b");
+    EXPECT_EQ(frontier[2].label, "c");
+    EXPECT_EQ(frontier[3].label, "d");
+}
+
+TEST(ParetoFrontier, SingleAndEmptyInputs)
+{
+    std::vector<ParetoPoint> none;
+    EXPECT_TRUE(cluster::paretoFrontier(none).empty());
+    std::vector<ParetoPoint> one(1);
+    one[0] = {"only", 50.0, 2.0, 0.0, false};
+    const auto frontier = cluster::paretoFrontier(one);
+    ASSERT_EQ(frontier.size(), 1u);
+    EXPECT_EQ(frontier[0].label, "only");
+}
+
+} // namespace

@@ -93,8 +93,11 @@ goldenRun(std::uint64_t seed)
     cluster::AdmissionOptions admission;
     admission.tokensPerSecond = 100.0;
     admission.bucketCapacity = 20.0;
-    cluster::ClusterGateway gateway(fleet, trace.functions, admission,
-                                    policy, stats);
+    cluster::GatewayConfig cfg =
+        cluster::GatewayConfig::forFunctions(trace.functions, stats);
+    cfg.admission = admission;
+    cfg.dispatch = &policy;
+    cluster::ClusterGateway gateway(fleet, cfg);
 
     load::OpenLoopGenerator gen(trace);
     sim.spawn(load::drive(sim, gen, gateway));

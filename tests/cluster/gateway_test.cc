@@ -103,8 +103,12 @@ struct Harness
     run(const AdmissionOptions &admission, double ratePerSecond,
         double seconds, std::uint64_t seed = 42)
     {
-        ClusterGateway gateway(fleet, {"helloworld", "pyaes"},
-                               admission, policy, stats);
+        cluster::GatewayConfig cfg =
+            cluster::GatewayConfig::forFunctions(
+                {"helloworld", "pyaes"}, stats);
+        cfg.admission = admission;
+        cfg.dispatch = &policy;
+        ClusterGateway gateway(fleet, cfg);
         load::TraceSpec trace;
         trace.seed = seed;
         trace.ratePerSecond = ratePerSecond;

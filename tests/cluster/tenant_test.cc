@@ -84,8 +84,12 @@ struct Harness
     ClusterSummary
     run(const AdmissionOptions &admission, const load::TraceSpec &trace)
     {
-        ClusterGateway gateway(fleet, {"helloworld", "pyaes"},
-                               admission, policy, stats);
+        cluster::GatewayConfig cfg =
+            cluster::GatewayConfig::forFunctions(
+                {"helloworld", "pyaes"}, stats);
+        cfg.admission = admission;
+        cfg.dispatch = &policy;
+        ClusterGateway gateway(fleet, cfg);
         load::OpenLoopGenerator gen(trace);
         const SimTime t0 = sim.now();
         sim.spawn(load::drive(sim, gen, gateway));

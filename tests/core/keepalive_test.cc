@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tests for the keep-alive strategy seam: histogram idle-window
+ * learning and eviction ordering, strategy configs, and the SLO-driven
+ * warm-pool autoscaler (grow/shrink/clamp/digest).
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/autoscaler.hh"
+#include "core/molecule.hh"
+#include "hw/computer.hh"
+
+namespace {
+
+using namespace molecule;
+using namespace molecule::sim::literals;
+using core::HistogramKeepAlive;
+using core::KeepAliveConfig;
+using core::Molecule;
+using core::MoleculeOptions;
+using core::WarmEntryView;
+using core::WarmPoolAutoscaler;
+using hw::PuType;
+using sim::SimTime;
+
+// ---------------------------------------------------------------------
+// Histogram idle windows.
+// ---------------------------------------------------------------------
+
+TEST(HistogramKeepAlive, DefaultWindowUntilEnoughSamples)
+{
+    HistogramKeepAlive h;
+    EXPECT_DOUBLE_EQ(h.window("fn", 0).toMilliseconds(), 250.0);
+
+    // Three intervals (< minSamples = 4 observations of reuse).
+    SimTime t;
+    for (int i = 0; i < 4; ++i, t = t + 100_ms)
+        h.onRequest("fn", 0, t);
+    EXPECT_DOUBLE_EQ(h.window("fn", 0).toMilliseconds(), 250.0);
+}
+
+TEST(HistogramKeepAlive, LearnsTheReuseInterval)
+{
+    HistogramKeepAlive h;
+    SimTime t;
+    for (int i = 0; i < 8; ++i, t = t + 100_ms)
+        h.onRequest("fn", 0, t);
+    const double windowMs = h.window("fn", 0).toMilliseconds();
+    // Log2 buckets + 1.25x margin: the 100 ms cadence must land the
+    // window at or above the interval but well under the default for
+    // such a tight pattern's neighborhood (one bucket + margin).
+    EXPECT_GE(windowMs, 100.0);
+    EXPECT_LE(windowMs, 400.0);
+}
+
+TEST(HistogramKeepAlive, WindowsAreLearnedPerFunctionAndPu)
+{
+    HistogramKeepAlive h;
+    SimTime t;
+    for (int i = 0; i < 8; ++i, t = t + 10_ms)
+        h.onRequest("fast", 0, t);
+    SimTime u;
+    for (int i = 0; i < 8; ++i, u = u + 1000_ms)
+        h.onRequest("slow", 1, u);
+    EXPECT_LT(h.window("fast", 0), h.window("slow", 1));
+    EXPECT_DOUBLE_EQ(h.window("fast", 1).toMilliseconds(), 250.0);
+}
+
+TEST(HistogramKeepAlive, OverdueEntriesEvictBeforeProtectedOnes)
+{
+    HistogramKeepAlive h;
+    SimTime t;
+    for (int i = 0; i < 8; ++i, t = t + 100_ms)
+        h.onRequest("fn", 0, t);
+
+    WarmEntryView fresh;
+    fresh.fn = "fn";
+    fresh.pu = 0;
+    fresh.lastUsed = t;
+    WarmEntryView overdue = fresh;
+    overdue.lastUsed = t - 5000_ms; // far past the ~125-250 ms window
+
+    const SimTime now = t + 50_ms;
+    EXPECT_LT(h.score(overdue, now), h.score(fresh, now));
+    // Protected entries keep LRU order among themselves.
+    WarmEntryView older = fresh;
+    older.lastUsed = t - 20_ms;
+    EXPECT_LT(h.score(older, now), h.score(fresh, now));
+    // The most overdue entry goes first.
+    WarmEntryView ancient = overdue;
+    ancient.lastUsed = t - 9000_ms;
+    EXPECT_LT(h.score(ancient, now), h.score(overdue, now));
+}
+
+TEST(KeepAliveConfig, MakeBuildsTheSelectedStrategy)
+{
+    EXPECT_STREQ(KeepAliveConfig::lru().make()->name(), "lru");
+    EXPECT_STREQ(KeepAliveConfig::greedyDual().make()->name(),
+                 "greedy-dual");
+    EXPECT_STREQ(KeepAliveConfig::histogram().make()->name(),
+                 "histogram");
+    HistogramKeepAlive::Options opts;
+    opts.defaultWindowMs = 50.0;
+    const KeepAliveConfig c = KeepAliveConfig::histogram(opts);
+    EXPECT_EQ(c.kind, KeepAliveConfig::Kind::Histogram);
+    EXPECT_DOUBLE_EQ(c.histogramOpts.defaultWindowMs, 50.0);
+    EXPECT_STREQ(core::toString(KeepAliveConfig::Kind::Histogram),
+                 "histogram");
+}
+
+// ---------------------------------------------------------------------
+// Warm-pool autoscaler.
+// ---------------------------------------------------------------------
+
+struct AutoscalerFixture : ::testing::Test
+{
+    sim::Simulation sim;
+    std::unique_ptr<hw::Computer> computer =
+        hw::buildCpuDpuServer(sim, 0, hw::DpuGeneration::Bf1);
+    Molecule runtime{*computer, MoleculeOptions{}};
+
+    obs::AlertEvent
+    alert(bool fired, std::uint32_t tenant = 1)
+    {
+        obs::AlertEvent a;
+        a.at = sim.now();
+        a.tenant = tenant;
+        a.fired = fired;
+        return a;
+    }
+};
+
+TEST_F(AutoscalerFixture, FiredAlertGrowsResolvedShrinks)
+{
+    WarmPoolAutoscaler scaler;
+    scaler.addTarget(&runtime.startup());
+    const std::size_t base = runtime.startup().options().warmCapacity;
+    ASSERT_EQ(base, 64u);
+
+    scaler.onAlert(alert(true));
+    EXPECT_EQ(runtime.startup().options().warmCapacity, 128u);
+    EXPECT_EQ(scaler.scaleUps(), 1);
+
+    scaler.onAlert(alert(false));
+    EXPECT_EQ(runtime.startup().options().warmCapacity, 64u);
+    EXPECT_EQ(scaler.scaleDowns(), 1);
+}
+
+TEST_F(AutoscalerFixture, CapacityClampsToFloorAndCeiling)
+{
+    WarmPoolAutoscaler::Options opts;
+    opts.minCapacity = 32;
+    opts.maxCapacity = 256;
+    WarmPoolAutoscaler scaler(opts);
+    scaler.addTarget(&runtime.startup());
+
+    for (int i = 0; i < 6; ++i)
+        scaler.onAlert(alert(true));
+    EXPECT_EQ(runtime.startup().options().warmCapacity, 256u);
+
+    for (int i = 0; i < 10; ++i)
+        scaler.onAlert(alert(false));
+    EXPECT_EQ(runtime.startup().options().warmCapacity, 32u);
+    EXPECT_EQ(scaler.scaleUps(), 6);
+    EXPECT_EQ(scaler.scaleDowns(), 10);
+}
+
+TEST_F(AutoscalerFixture, DigestPinsTheScalingHistory)
+{
+    auto history = [this](const std::vector<bool> &fires) {
+        Molecule rt(*computer, MoleculeOptions{});
+        WarmPoolAutoscaler scaler;
+        scaler.addTarget(&rt.startup());
+        for (bool f : fires)
+            scaler.onAlert(alert(f));
+        return scaler.digest();
+    };
+    const std::vector<bool> seq{true, true, false, true, false};
+    EXPECT_EQ(history(seq), history(seq));
+    EXPECT_NE(history(seq), history({true, false, true, true, false}));
+    EXPECT_NE(WarmPoolAutoscaler().digest(), history(seq));
+}
+
+TEST_F(AutoscalerFixture, DrivesEveryRegisteredTarget)
+{
+    Molecule other(*computer, MoleculeOptions{});
+    WarmPoolAutoscaler scaler;
+    scaler.addTarget(&runtime.startup());
+    scaler.addTarget(&other.startup());
+    scaler.onAlert(alert(true));
+    EXPECT_EQ(runtime.startup().options().warmCapacity, 128u);
+    EXPECT_EQ(other.startup().options().warmCapacity, 128u);
+}
+
+} // namespace

@@ -41,11 +41,11 @@ struct SchedFixture : ::testing::Test
 TEST_F(SchedFixture, PrefersCheapestAllowedKind)
 {
     const auto &both = runtime.registry().find("helloworld");
-    const int pu = runtime.scheduler().pickPu(both);
+    const int pu = runtime.scheduler().place(both);
     EXPECT_EQ(computer->pu(pu).type(), PuType::Dpu);
 
     const auto &cpuOnly = runtime.registry().find("image-resize");
-    EXPECT_EQ(runtime.scheduler().pickPu(cpuOnly), 0);
+    EXPECT_EQ(runtime.scheduler().place(cpuOnly), 0);
 }
 
 TEST_F(SchedFixture, FallsBackWhenCheapKindIsFull)
@@ -54,7 +54,7 @@ TEST_F(SchedFixture, FallsBackWhenCheapKindIsFull)
     computer->pu(1).tryAllocate(computer->pu(1).memoryFree());
     computer->pu(2).tryAllocate(computer->pu(2).memoryFree());
     const auto &both = runtime.registry().find("helloworld");
-    EXPECT_EQ(runtime.scheduler().pickPu(both), 0);
+    EXPECT_EQ(runtime.scheduler().place(both), 0);
 }
 
 TEST_F(SchedFixture, ReturnsMinusOneWhenNothingFits)
@@ -62,7 +62,7 @@ TEST_F(SchedFixture, ReturnsMinusOneWhenNothingFits)
     for (int pu = 0; pu < computer->puCount(); ++pu)
         computer->pu(pu).tryAllocate(computer->pu(pu).memoryFree());
     const auto &both = runtime.registry().find("helloworld");
-    EXPECT_EQ(runtime.scheduler().pickPu(both), -1);
+    EXPECT_EQ(runtime.scheduler().place(both), -1);
 }
 
 TEST_F(SchedFixture, ChainAffinityPicksOnePu)

@@ -12,7 +12,7 @@ namespace {
 
 using namespace molecule;
 using namespace molecule::sim::literals;
-using core::KeepAlivePolicy;
+using core::KeepAliveConfig;
 using core::Molecule;
 using core::MoleculeOptions;
 using hw::PuType;
@@ -49,12 +49,12 @@ TEST(Startup, GreedyDualKeepsHighestColdCostDensity)
     // cold boot is almost as expensive as pyaes' (interpreter-bound)
     // at a fraction of the memory, so greedy-dual retains it even
     // when pyaes ran more recently; LRU keeps whatever ran last.
-    auto helloworldWarm = [](KeepAlivePolicy policy) {
+    auto helloworldWarm = [](const KeepAliveConfig &keepAlive) {
         sim::Simulation sim;
         auto computer = hw::buildCpuDpuServer(sim, 0,
                                               hw::DpuGeneration::Bf1);
         MoleculeOptions options;
-        options.startup.policy = policy;
+        options.startup.keepAlive = keepAlive;
         options.startup.globalWarmCapacityPerPu = 1;
         options.startup.useCfork = false; // bigger cost contrast
         Molecule runtime(*computer, options);
@@ -67,8 +67,25 @@ TEST(Startup, GreedyDualKeepsHighestColdCostDensity)
         }
         return runtime.startup().warmCount("helloworld", 0);
     };
-    EXPECT_EQ(helloworldWarm(KeepAlivePolicy::GreedyDual), 1u);
-    EXPECT_EQ(helloworldWarm(KeepAlivePolicy::Lru), 0u);
+    EXPECT_EQ(helloworldWarm(KeepAliveConfig::greedyDual()), 1u);
+    EXPECT_EQ(helloworldWarm(KeepAliveConfig::lru()), 0u);
+}
+
+TEST(Startup, DeprecatedEnumAdapterStillSelectsStrategies)
+{
+    // One-release migration shim: the old enum maps onto the new
+    // strategy configs. Deliberately exercises deprecated API.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+    const KeepAliveConfig lru =
+        core::keepAliveConfigFrom(core::KeepAlivePolicy::Lru);
+    const KeepAliveConfig gd =
+        core::keepAliveConfigFrom(core::KeepAlivePolicy::GreedyDual);
+#pragma GCC diagnostic pop
+    EXPECT_EQ(lru.kind, KeepAliveConfig::Kind::Lru);
+    EXPECT_EQ(gd.kind, KeepAliveConfig::Kind::GreedyDual);
+    EXPECT_STREQ(lru.make()->name(), "lru");
+    EXPECT_STREQ(gd.make()->name(), "greedy-dual");
 }
 
 TEST(Startup, FpgaHotSetRecomposesOnMiss)

@@ -23,7 +23,7 @@
 namespace {
 
 using namespace molecule;
-using core::KeepAlivePolicy;
+using core::KeepAliveConfig;
 using core::Molecule;
 using core::MoleculeOptions;
 using hw::PuType;
@@ -230,7 +230,8 @@ TEST(FifoOrdering, CrossPuMessagesArriveInWriteOrder)
 // Keep-alive capacity invariant under both policies.
 // ---------------------------------------------------------------------
 
-class KeepAliveSweep : public ::testing::TestWithParam<KeepAlivePolicy>
+class KeepAliveSweep
+    : public ::testing::TestWithParam<KeepAliveConfig::Kind>
 {
 };
 
@@ -241,7 +242,7 @@ TEST_P(KeepAliveSweep, PoolNeverExceedsCapacity)
                                           hw::DpuGeneration::Bf1);
     MoleculeOptions options;
     options.startup.warmCapacity = 3;
-    options.startup.policy = GetParam();
+    options.startup.keepAlive.kind = GetParam();
     Molecule runtime(*computer, options);
     runtime.registerCpuFunction("helloworld", {PuType::HostCpu});
     runtime.start();
@@ -251,8 +252,10 @@ TEST_P(KeepAliveSweep, PoolNeverExceedsCapacity)
     }
 }
 
-INSTANTIATE_TEST_SUITE_P(Policies, KeepAliveSweep,
-                         ::testing::Values(KeepAlivePolicy::Lru,
-                                           KeepAlivePolicy::GreedyDual));
+INSTANTIATE_TEST_SUITE_P(
+    Policies, KeepAliveSweep,
+    ::testing::Values(KeepAliveConfig::Kind::Lru,
+                      KeepAliveConfig::Kind::GreedyDual,
+                      KeepAliveConfig::Kind::Histogram));
 
 } // namespace

@@ -73,8 +73,11 @@ saturatedRun(std::uint64_t seed)
     admission.tokensPerSecond = 0.0;
     admission.queueCapacity = 8192;
     admission.maxOutstandingPerNode = 48;
-    cluster::ClusterGateway gateway(
-        fleet, {"helloworld", "pyaes"}, admission, policy, stats);
+    cluster::GatewayConfig cfg = cluster::GatewayConfig::forFunctions(
+        {"helloworld", "pyaes"}, stats);
+    cfg.admission = admission;
+    cfg.dispatch = &policy;
+    cluster::ClusterGateway gateway(fleet, cfg);
 
     load::TraceSpec trace;
     trace.seed = seed;

@@ -120,8 +120,11 @@ runRung(std::uint64_t seed, double rate)
     admission.queueCapacity = 2048;
     admission.maxOutstandingPerNode = 96;
     admission.invoke.maxAttempts = 2;
-    cluster::ClusterGateway gateway(fleet, spec.functions, admission,
-                                    policy, stats);
+    cluster::GatewayConfig gwCfg =
+        cluster::GatewayConfig::forFunctions(spec.functions, stats);
+    gwCfg.admission = admission;
+    gwCfg.dispatch = &policy;
+    cluster::ClusterGateway gateway(fleet, gwCfg);
 
     load::OpenLoopGenerator gen(spec);
     const SimTime t0 = sim.now();

@@ -198,9 +198,12 @@ runScenario(std::uint64_t seed, const RunConfig &cfg = {})
     admission.tokensPerSecond = 0.0; // no policing: let the queue grow
     admission.queueCapacity = 8192;
     admission.maxOutstandingPerNode = 48;
-    cluster::ClusterGateway gateway(fleet, spec.functions, admission,
-                                    policy, stats);
-    gateway.setFlightRecorder(&recorder);
+    cluster::GatewayConfig gwCfg =
+        cluster::GatewayConfig::forFunctions(spec.functions, stats);
+    gwCfg.admission = admission;
+    gwCfg.dispatch = &policy;
+    gwCfg.recorder = &recorder;
+    cluster::ClusterGateway gateway(fleet, gwCfg);
 
     fault::Injector injector(sim, faults);
     injector.setRecorder(&recorder);
@@ -325,8 +328,11 @@ runWithoutTelemetry(std::uint64_t seed)
     admission.tokensPerSecond = 0.0;
     admission.queueCapacity = 8192;
     admission.maxOutstandingPerNode = 48;
-    cluster::ClusterGateway gateway(fleet, spec.functions, admission,
-                                    policy, stats);
+    cluster::GatewayConfig gwCfg =
+        cluster::GatewayConfig::forFunctions(spec.functions, stats);
+    gwCfg.admission = admission;
+    gwCfg.dispatch = &policy;
+    cluster::ClusterGateway gateway(fleet, gwCfg);
     load::OpenLoopGenerator gen(spec);
     sim.spawn(load::drive(sim, gen, gateway));
     sim.run();
